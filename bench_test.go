@@ -1,0 +1,320 @@
+package gapsched
+
+// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E12),
+// one benchmark per table/figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The human-readable tables behind EXPERIMENTS.md come from
+// cmd/gapbench; these benchmarks measure the cost of the same code
+// paths on pinned workloads so regressions are visible.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arith"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/greedysp"
+	"repro/internal/multiinterval"
+	"repro/internal/online"
+	"repro/internal/powerdown"
+	"repro/internal/reduction"
+	"repro/internal/restart"
+	"repro/internal/sched"
+	"repro/internal/setcover"
+	"repro/internal/setpacking"
+	"repro/internal/workload"
+)
+
+// BenchmarkE1_MultiprocExact: Theorem 1 DP and the oracle on the same
+// small multiprocessor instance.
+func BenchmarkE1_MultiprocExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.FeasibleOneInterval(rng, 8, 2, 12, 4)
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveGaps(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := exact.SpansOneInterval(in); !ok {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+}
+
+// BenchmarkE2_ScaleN / BenchmarkE2_ScaleP: the Theorem 1 DP across n
+// and p (the scaling series of E2).
+func BenchmarkE2_ScaleN(b *testing.B) {
+	for _, n := range []int{8, 14, 20, 26} {
+		rng := rand.New(rand.NewSource(2))
+		in := workload.FeasibleOneInterval(rng, n, 2, 2*n, 6)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveGaps(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE2_ScaleP(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		rng := rand.New(rand.NewSource(3))
+		in := workload.FeasibleOneInterval(rng, 12, p, 20, 6)
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveGaps(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3_PowerExact: the Theorem 2 power DP across α.
+func BenchmarkE3_PowerExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := workload.FeasibleOneInterval(rng, 8, 2, 12, 4)
+	for _, alpha := range []float64{0.5, 2, 8} {
+		b.Run(fmt.Sprintf("alpha=%v", alpha), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolvePower(in, alpha); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4_ApproxRatio: the Theorem 3 pipeline vs the naive matching
+// baseline on one multi-interval workload.
+func BenchmarkE4_ApproxRatio(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mi := workload.FeasibleMultiInterval(rng, 14, 2, 2, 26)
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := multiinterval.ApproxPower(mi, 2, multiinterval.Options{SearchDepth: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multiinterval.NaiveSchedule(mi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5_PackingQuality: greedy vs local-search set packing.
+func BenchmarkE5_PackingQuality(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := setpacking.Instance{Universe: 24}
+	for i := 0; i < 30; i++ {
+		s := make([]int, 3)
+		for j := range s {
+			s[j] = rng.Intn(24)
+		}
+		in.Sets = append(in.Sets, s)
+	}
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			setpacking.Greedy(in)
+		}
+	})
+	b.Run("local-search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			setpacking.LocalSearch(in, 2)
+		}
+	})
+}
+
+// BenchmarkE6_SetCoverReduction: building and solving the Theorem 4
+// construction.
+func BenchmarkE6_SetCoverReduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	sc := setcover.Random(rng, 6, 5, 3)
+	b.Run("construct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduction.FromSetCover(sc)
+		}
+	})
+	r := reduction.FromSetCover(sc)
+	cover := setcover.Greedy(sc)
+	b.Run("roundtrip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, ok := r.CoverToSchedule(cover)
+			if !ok {
+				b.Fatal("cover rejected")
+			}
+			r.ScheduleToCover(ms)
+		}
+	})
+}
+
+// BenchmarkE7_IntervalReductions: Theorem 7/8 gadget construction.
+func BenchmarkE7_IntervalReductions(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	mi := workload.FeasibleMultiInterval(rng, 6, 4, 1, 20)
+	um := workload.FeasibleUnitMulti(rng, 4, 5, 20)
+	b.Run("to-2-interval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduction.ToTwoInterval(mi)
+		}
+	})
+	b.Run("to-3-unit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduction.ToThreeUnit(um)
+		}
+	})
+}
+
+// BenchmarkE8_UnitReductions: Theorem 9/10 constructions.
+func BenchmarkE8_UnitReductions(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tu := workload.FeasibleUnitMulti(rng, 6, 2, 14)
+	du := workload.DisjointUnit(rng, 5, 3)
+	sc := setcover.RandomB(rng, 5, 4, 2)
+	b.Run("2unit-to-disjoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduction.TwoUnitToDisjoint(tu)
+		}
+	})
+	b.Run("disjoint-to-2unit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduction.DisjointToTwoUnit(du)
+		}
+	})
+	b.Run("bsetcover-to-disjoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduction.FromBSetCoverDisjoint(sc)
+		}
+	})
+}
+
+// BenchmarkE9_RestartGreedy: Theorem 11 greedy vs the exact oracle.
+func BenchmarkE9_RestartGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	mi := workload.MultiInterval(rng, 12, 2, 2, 20)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := restart.Greedy(mi, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	small := workload.MultiInterval(rng, 8, 2, 2, 14)
+	b.Run("oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exact.MaxThroughput(small, 3)
+		}
+	})
+}
+
+// BenchmarkE10_Greedy3Approx: the [FHKN06] greedy vs the exact DP.
+func BenchmarkE10_Greedy3Approx(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	in := workload.FeasibleOneInterval(rng, 10, 1, 16, 5)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := greedysp.Solve(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveGaps(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11_OnlineLowerBound: the adversarial family across n.
+func BenchmarkE11_OnlineLowerBound(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := online.LowerBound(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12_SingleProc: the p = 1 specialization (Baptiste) across n.
+func BenchmarkE12_SingleProc(b *testing.B) {
+	for _, n := range []int{10, 20, 40} {
+		rng := rand.New(rand.NewSource(12))
+		in := workload.FeasibleOneInterval(rng, n, 1, 3*n, 6)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveGaps(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13_Arithmetic: the §2 corollary solver on laid-out
+// arithmetic instances.
+func BenchmarkE13_Arithmetic(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	in := workload.FeasibleOneInterval(rng, 8, 3, 10, 4)
+	mi, _ := sched.LayOut(in)
+	for i := 0; i < b.N; i++ {
+		if _, err := arith.Solve(mi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14_PowerDown: online power-down policy evaluation on EDF
+// schedules.
+func BenchmarkE14_PowerDown(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	in := workload.FeasibleOneInterval(rng, 20, 1, 50, 6)
+	for _, p := range []powerdown.Policy{powerdown.SkiRental{}, powerdown.RandomizedExp{}} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := powerdown.EvaluateEDF(in, 3, p); !ok {
+					b.Fatal("infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE15_GridAblation: anchor grid vs full-horizon grid on a
+// sparse instance.
+func BenchmarkE15_GridAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	in := workload.FeasibleOneInterval(rng, 8, 1, 240, 4)
+	b.Run("anchor-grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveGapsOpt(in, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveGapsOpt(in, core.Options{FullGrid: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

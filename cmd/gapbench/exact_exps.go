@@ -1,0 +1,219 @@
+package main
+
+// Experiments E1–E3 and E12: the exact dynamic programs (Theorems 1–2)
+// against brute-force oracles, and their runtime scaling.
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E1", "Theorem 1 DP is exact (vs oracle, multiprocessor)", runE1)
+	register("E2", "Theorem 1 DP scales polynomially in n and p", runE2)
+	register("E3", "Theorem 2 power DP is exact; gaps bridged iff shorter than α", runE3)
+	register("E12", "p = 1 specialization (Baptiste) exactness and scaling", runE12)
+}
+
+func runE1(cfg config) []*stats.Table {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	trials := 120
+	if cfg.quick {
+		trials = 30
+	}
+	tb := stats.NewTable("n", "p", "trials", "feasible", "DP=oracle", "mean spans", "mean DP states")
+	for _, np := range [][2]int{{4, 1}, {6, 2}, {8, 2}, {8, 3}, {10, 3}} {
+		n, p := np[0], np[1]
+		feasibleCnt, agree := 0, 0
+		var spansSum, statesSum float64
+		for trial := 0; trial < trials; trial++ {
+			in := workload.Multiproc(rng, n, p, 2+n, 5)
+			want, feasible := exact.SpansOneInterval(in)
+			res, err := core.SolveGaps(in)
+			if !feasible {
+				if err == core.ErrInfeasible {
+					agree++
+				}
+				continue
+			}
+			feasibleCnt++
+			if err == nil && res.Spans == want && res.Schedule.Spans() == want {
+				agree++
+			}
+			spansSum += float64(want)
+			statesSum += float64(res.States)
+		}
+		tb.AddRow(n, p, trials, feasibleCnt, boolMark(agree == trials),
+			spansSum/float64(max(feasibleCnt, 1)), statesSum/float64(max(feasibleCnt, 1)))
+	}
+	return []*stats.Table{tb}
+}
+
+func runE2(cfg config) []*stats.Table {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	nTable := stats.NewTable("n (p=2)", "mean ms", "mean DP states", "mean spans")
+	sizes := []int{6, 10, 14, 18, 22, 26}
+	reps := 5
+	if cfg.quick {
+		sizes = []int{6, 10, 14}
+		reps = 3
+	}
+	for _, n := range sizes {
+		var ms, states, spans float64
+		for rep := 0; rep < reps; rep++ {
+			in := workload.FeasibleOneInterval(rng, n, 2, 2*n, 6)
+			start := time.Now()
+			res, err := core.SolveGaps(in)
+			if err != nil {
+				continue
+			}
+			ms += float64(time.Since(start).Microseconds()) / 1000
+			states += float64(res.States)
+			spans += float64(res.Spans)
+		}
+		nTable.AddRow(n, ms/float64(reps), states/float64(reps), spans/float64(reps))
+	}
+
+	pTable := stats.NewTable("p (n=12)", "mean ms", "mean DP states", "mean spans")
+	procs := []int{1, 2, 3, 4, 6, 8}
+	if cfg.quick {
+		procs = []int{1, 2, 4}
+	}
+	for _, p := range procs {
+		var ms, states, spans float64
+		for rep := 0; rep < reps; rep++ {
+			in := workload.FeasibleOneInterval(rng, 12, p, 20, 6)
+			start := time.Now()
+			res, err := core.SolveGaps(in)
+			if err != nil {
+				continue
+			}
+			ms += float64(time.Since(start).Microseconds()) / 1000
+			states += float64(res.States)
+			spans += float64(res.Spans)
+		}
+		pTable.AddRow(p, ms/float64(reps), states/float64(reps), spans/float64(reps))
+	}
+	return []*stats.Table{nTable, pTable}
+}
+
+func runE3(cfg config) []*stats.Table {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	trials := 80
+	if cfg.quick {
+		trials = 25
+	}
+	tb := stats.NewTable("α", "trials", "DP=oracle", "mean power", "mean schedule power")
+	for _, alpha := range []float64{0, 0.5, 1, 2, 4, 8} {
+		agree := 0
+		var powSum, schedSum float64
+		cnt := 0
+		for trial := 0; trial < trials; trial++ {
+			in := workload.FeasibleOneInterval(rng, 7, 2, 10, 4)
+			want, _ := exact.PowerOneInterval(in, alpha)
+			res, err := core.SolvePower(in, alpha)
+			if err == nil && abs(res.Power-want) < 1e-9 {
+				agree++
+			}
+			if err == nil {
+				cnt++
+				powSum += res.Power
+				schedSum += res.Schedule.PowerCost(alpha)
+			}
+		}
+		tb.AddRow(alpha, trials, boolMark(agree == trials), powSum/float64(max(cnt, 1)), schedSum/float64(max(cnt, 1)))
+	}
+
+	// Bridging crossover: two jobs separated by a gap of length g are
+	// bridged iff g < α (a tie costs the same either way).
+	cross := stats.NewTable("gap g", "α", "optimal power", "decision", "matches g vs α rule")
+	for _, g := range []int{1, 2, 3, 5} {
+		for _, alpha := range []float64{1, 2, 4} {
+			in := sched.NewInstance([]sched.Job{
+				{Release: 0, Deadline: 0}, {Release: g + 1, Deadline: g + 1},
+			})
+			res, err := core.SolvePower(in, alpha)
+			if err != nil {
+				continue
+			}
+			bridged := abs(res.Power-(2+alpha+float64(g))) < 1e-9
+			slept := abs(res.Power-(2+2*alpha)) < 1e-9
+			decision := "bridge"
+			switch {
+			case bridged && slept:
+				decision = "tie"
+			case slept:
+				decision = "sleep"
+			}
+			rule := (float64(g) < alpha && bridged) || (float64(g) > alpha && slept) || (float64(g) == alpha && bridged && slept)
+			cross.AddRow(g, alpha, res.Power, decision, boolMark(rule))
+		}
+	}
+	return []*stats.Table{tb, cross}
+}
+
+func runE12(cfg config) []*stats.Table {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	trials := 150
+	if cfg.quick {
+		trials = 40
+	}
+	agree := 0
+	for trial := 0; trial < trials; trial++ {
+		in := workload.OneInterval(rng, 1+rng.Intn(9), 12, 5)
+		want, feasible := exact.SpansOneInterval(in)
+		res, err := core.SolveGaps(in)
+		switch {
+		case !feasible && err == core.ErrInfeasible:
+			agree++
+		case feasible && err == nil && res.Spans == want:
+			agree++
+		}
+	}
+	check := stats.NewTable("check", "trials", "all agree")
+	check.AddRow("p=1 DP vs oracle", trials, boolMark(agree == trials))
+
+	scale := stats.NewTable("n (p=1)", "mean ms", "mean DP states", "mean gaps")
+	sizes := []int{8, 16, 24, 32, 40}
+	reps := 5
+	if cfg.quick {
+		sizes = []int{8, 16, 24}
+		reps = 3
+	}
+	for _, n := range sizes {
+		var ms, states, gaps float64
+		for rep := 0; rep < reps; rep++ {
+			in := workload.FeasibleOneInterval(rng, n, 1, 3*n, 6)
+			start := time.Now()
+			res, err := core.SolveGaps(in)
+			if err != nil {
+				continue
+			}
+			ms += float64(time.Since(start).Microseconds()) / 1000
+			states += float64(res.States)
+			gaps += float64(res.Gaps)
+		}
+		scale.AddRow(n, ms/float64(reps), states/float64(reps), gaps/float64(reps))
+	}
+	return []*stats.Table{check, scale}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

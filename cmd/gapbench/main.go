@@ -1,0 +1,98 @@
+// Command gapbench regenerates the experiment tables of EXPERIMENTS.md:
+// one experiment per theorem of the paper (see DESIGN.md §4).
+//
+// Usage:
+//
+//	gapbench                  # run everything
+//	gapbench -exp E1,E4       # a subset
+//	gapbench -quick           # smaller sizes / fewer trials
+//	gapbench -markdown        # emit GitHub tables (for EXPERIMENTS.md)
+//	gapbench -seed 7          # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// experiment is one registered table generator.
+type experiment struct {
+	id, title string
+	run       func(cfg config) []*stats.Table
+}
+
+type config struct {
+	seed  int64
+	quick bool
+}
+
+var registry []experiment
+
+func register(id, title string, run func(cfg config) []*stats.Table) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+func main() {
+	var (
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or all")
+		quick    = flag.Bool("quick", false, "smaller sizes and fewer trials")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *exps != "all" {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	sort.Slice(registry, func(a, b int) bool { return lessID(registry[a].id, registry[b].id) })
+
+	cfg := config{seed: *seed, quick: *quick}
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		for _, tb := range e.run(cfg) {
+			render(tb, *markdown, os.Stdout)
+			fmt.Println()
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "gapbench: no experiment matches %q\n", *exps)
+		os.Exit(2)
+	}
+}
+
+func lessID(a, b string) bool {
+	var x, y int
+	fmt.Sscanf(a, "E%d", &x)
+	fmt.Sscanf(b, "E%d", &y)
+	return x < y
+}
+
+func render(tb *stats.Table, markdown bool, w io.Writer) {
+	if markdown {
+		tb.Markdown(w)
+	} else {
+		tb.Render(w)
+	}
+}
+
+// boolMark renders a check for table cells.
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment at quick
+// sizes and checks each produces at least one non-empty table. This is
+// the harness's own smoke suite — the scientific assertions live in the
+// package tests; here we guard against drift between the registry and
+// the experiment implementations.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is not short")
+	}
+	cfg := config{seed: 1, quick: true}
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		tables := e.run(cfg)
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", e.id)
+		}
+		for ti, tb := range tables {
+			if tb.Len() == 0 {
+				t.Fatalf("%s table %d is empty", e.id, ti)
+			}
+			var b strings.Builder
+			tb.Render(&b)
+			if strings.Contains(b.String(), "NO") {
+				t.Fatalf("%s table %d reports a failed invariant:\n%s", e.id, ti, b.String())
+			}
+		}
+	}
+	for _, id := range []string{"E1", "E4", "E6", "E9", "E12", "E15"} {
+		if !seen[id] {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestLessID(t *testing.T) {
+	if !lessID("E2", "E10") {
+		t.Fatal("numeric ordering broken")
+	}
+	if lessID("E10", "E2") {
+		t.Fatal("numeric ordering broken (reverse)")
+	}
+}
+
+func TestBoolMark(t *testing.T) {
+	if boolMark(true) != "yes" || boolMark(false) != "NO" {
+		t.Fatal("boolMark labels changed — update TestAllExperimentsQuick")
+	}
+}

@@ -1,0 +1,85 @@
+// Command gapgen generates scheduling instances as JSON on stdout.
+//
+// Usage:
+//
+//	gapgen -kind one-interval -n 20 -p 2 -horizon 40 -window 8 -seed 1
+//	gapgen -kind multi-interval -n 12 -intervals 3 -ivlen 2 -horizon 30
+//	gapgen -kind bursty -n 20 -bursts 3 -horizon 60
+//	gapgen -kind periodic -n 10 -period 6 -jitter 2 -slack 4
+//	gapgen -kind online-lb -n 8
+//
+// All kinds emit the sched.File JSON envelope consumed by cmd/gapsched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "one-interval", "one-interval | multi-interval | bursty | periodic | online-lb | disjoint-unit")
+		n         = flag.Int("n", 10, "number of jobs")
+		p         = flag.Int("p", 1, "number of processors (one-interval kinds)")
+		horizon   = flag.Int("horizon", 24, "release-time horizon")
+		window    = flag.Int("window", 6, "maximum window length")
+		intervals = flag.Int("intervals", 2, "intervals per job (multi-interval)")
+		ivlen     = flag.Int("ivlen", 2, "interval length (multi-interval)")
+		bursts    = flag.Int("bursts", 3, "burst count (bursty)")
+		period    = flag.Int("period", 6, "period (periodic)")
+		jitter    = flag.Int("jitter", 2, "release jitter (periodic)")
+		slack     = flag.Int("slack", 4, "deadline slack (periodic)")
+		alpha     = flag.Float64("alpha", 2, "transition cost recorded in the file")
+		seed      = flag.Int64("seed", 1, "random seed")
+		feasible  = flag.Bool("feasible", true, "redraw until the instance is feasible")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var f sched.File
+	f.Alpha = *alpha
+	switch *kind {
+	case "one-interval":
+		var in sched.Instance
+		if *feasible {
+			in = workload.FeasibleOneInterval(rng, *n, *p, *horizon, *window)
+		} else {
+			in = workload.Multiproc(rng, *n, *p, *horizon, *window)
+		}
+		f.Kind, f.Instance = sched.KindOneInterval, &in
+	case "bursty":
+		in := workload.Bursty(rng, *n, *bursts, *horizon, 4, *window)
+		in.Procs = *p
+		f.Kind, f.Instance = sched.KindOneInterval, &in
+	case "periodic":
+		in := workload.Periodic(rng, *n, *period, *jitter, *slack)
+		in.Procs = *p
+		f.Kind, f.Instance = sched.KindOneInterval, &in
+	case "online-lb":
+		in := workload.OnlineLowerBound(*n)
+		f.Kind, f.Instance = sched.KindOneInterval, &in
+	case "multi-interval":
+		var mi sched.MultiInstance
+		if *feasible {
+			mi = workload.FeasibleMultiInterval(rng, *n, *intervals, *ivlen, *horizon)
+		} else {
+			mi = workload.MultiInterval(rng, *n, *intervals, *ivlen, *horizon)
+		}
+		f.Kind, f.Multi = sched.KindMultiInterval, &mi
+	case "disjoint-unit":
+		mi := workload.DisjointUnit(rng, *n, *intervals)
+		f.Kind, f.Multi = sched.KindMultiInterval, &mi
+	default:
+		fmt.Fprintf(os.Stderr, "gapgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := f.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "gapgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,187 @@
+// Command gapsched solves scheduling instances produced by cmd/gapgen
+// (or hand-written JSON) and prints the schedule, its span/gap counts,
+// its power consumption and a rendered power-state timeline.
+//
+// Usage:
+//
+//	gapgen -kind one-interval -n 12 | gapsched -algo gaps
+//	gapsched -input instance.json -algo power -alpha 3
+//	gapsched -input multi.json -algo approx
+//	gapsched -input multi.json -algo throughput -budget 3
+//
+// Algorithms: gaps (Thm 1 exact), power (Thm 2 exact), greedy
+// ([FHKN06] baseline, single processor), edf (online baseline),
+// approx (Thm 3 multi-interval pipeline), naive (matching baseline),
+// throughput (Thm 11 greedy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	gapsched "repro"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		input  = flag.String("input", "-", "instance JSON file (- for stdin)")
+		algo   = flag.String("algo", "gaps", "gaps | power | greedy | edf | approx | naive | throughput")
+		alpha  = flag.Float64("alpha", -1, "transition cost (overrides the file's alpha when ≥ 0)")
+		budget = flag.Int("budget", 2, "span budget for -algo throughput")
+		quiet  = flag.Bool("quiet", false, "suppress the timeline rendering")
+	)
+	flag.Parse()
+	if err := run(*input, *algo, *alpha, *budget, *quiet, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "gapsched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, algo string, alpha float64, budget int, quiet bool, w io.Writer) error {
+	var r io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := sched.ReadJSON(r)
+	if err != nil {
+		return err
+	}
+	if alpha < 0 {
+		alpha = file.Alpha
+	}
+
+	switch algo {
+	case "gaps", "power", "greedy", "edf":
+		if file.Instance == nil {
+			return fmt.Errorf("algorithm %q needs a one-interval instance", algo)
+		}
+		return runOneInterval(*file.Instance, algo, alpha, quiet, w)
+	case "approx", "naive", "throughput":
+		mi := file.Multi
+		if mi == nil {
+			if file.Instance == nil {
+				return fmt.Errorf("algorithm %q needs a multi-interval instance", algo)
+			}
+			laid, _ := gapsched.LayOut(*file.Instance)
+			mi = &laid
+			fmt.Fprintf(w, "note: laid out %d-processor instance onto a single timeline\n", file.Instance.Procs)
+		}
+		return runMulti(*mi, algo, alpha, budget, quiet, w)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func runOneInterval(in sched.Instance, algo string, alpha float64, quiet bool, w io.Writer) error {
+	var (
+		s   sched.Schedule
+		err error
+	)
+	switch algo {
+	case "gaps":
+		var res gapsched.GapResult
+		res, err = gapsched.MinimizeGaps(in)
+		if err == nil {
+			s = res.Schedule
+			fmt.Fprintf(w, "optimal wake-ups (spans): %d   gaps: %d   DP states: %d\n", res.Spans, res.Gaps, res.States)
+		}
+	case "power":
+		var res gapsched.PowerResult
+		res, err = gapsched.MinimizePower(in, alpha)
+		if err == nil {
+			s = res.Schedule
+			fmt.Fprintf(w, "optimal power: %.3f (α=%.2f)   DP states: %d\n", res.Power, alpha, res.States)
+		}
+	case "greedy":
+		var res gapsched.GreedyResult
+		res, err = gapsched.GreedyGapSchedule(in)
+		if err == nil {
+			s = res.Schedule
+			fmt.Fprintf(w, "greedy wake-ups (spans): %d   forbidden intervals: %d\n", res.Spans, len(res.Forbidden))
+		}
+	case "edf":
+		var ok bool
+		s, ok = gapsched.EDF(in)
+		if !ok {
+			err = gapsched.ErrInfeasible
+		} else {
+			fmt.Fprintf(w, "EDF wake-ups (spans): %d\n", s.Spans())
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "power at α=%.2f: %.3f\n", alpha, s.PowerCost(alpha))
+	printAssignments(w, s)
+	if !quiet {
+		fmt.Fprint(w, power.Simulate(s, alpha).Render())
+		fmt.Fprint(w, power.SpanSummary(s))
+	}
+	return nil
+}
+
+func runMulti(mi sched.MultiInstance, algo string, alpha float64, budget int, quiet bool, w io.Writer) error {
+	switch algo {
+	case "approx":
+		ms, st, err := gapsched.ApproxMultiPower(mi, alpha, gapsched.ApproxOptions{SearchDepth: 2})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "approx spans: %d   power: %.3f (α=%.2f)   packed %d jobs in %d runs (shift %d)\n",
+			st.Spans, st.Power, alpha, st.PackedJobs, st.PackedRuns, st.Shift)
+		if !quiet {
+			fmt.Fprint(w, power.SimulateMulti(ms, alpha).Render())
+		}
+	case "naive":
+		ms, err := gapsched.AnyMultiSchedule(mi)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "naive spans: %d   power: %.3f (α=%.2f)\n", ms.Spans(), ms.PowerCost(alpha), alpha)
+		if !quiet {
+			fmt.Fprint(w, power.SimulateMulti(ms, alpha).Render())
+		}
+	case "throughput":
+		res, err := gapsched.MaxThroughput(mi, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "scheduled %d of %d jobs in %d spans (budget %d)\n", res.Jobs(), mi.N(), res.Spans, budget)
+		var jobs []int
+		for j := range res.Scheduled {
+			jobs = append(jobs, j)
+		}
+		sort.Ints(jobs)
+		for _, j := range jobs {
+			fmt.Fprintf(w, "  job %d at t=%d\n", j, res.Scheduled[j])
+		}
+	}
+	return nil
+}
+
+func printAssignments(w io.Writer, s sched.Schedule) {
+	type row struct{ job, proc, time int }
+	rows := make([]row, len(s.Slots))
+	for i, a := range s.Slots {
+		rows[i] = row{i, a.Proc, a.Time}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].time != rows[b].time {
+			return rows[a].time < rows[b].time
+		}
+		return rows[a].proc < rows[b].proc
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "  t=%-4d P%-2d job %d\n", r.time, r.proc, r.job)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func writeInstance(t *testing.T, f sched.File) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := f.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOneIntervalAlgorithms(t *testing.T) {
+	path := writeInstance(t, sched.File{
+		Kind:  sched.KindOneInterval,
+		Alpha: 2,
+		Instance: &sched.Instance{Procs: 1, Jobs: []sched.Job{
+			{Release: 0, Deadline: 2}, {Release: 5, Deadline: 7},
+		}},
+	})
+	for _, algo := range []string{"gaps", "power", "greedy", "edf"} {
+		var b strings.Builder
+		if err := run(path, algo, -1, 2, false, &b); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(b.String(), "t=") {
+			t.Fatalf("%s: no assignments printed:\n%s", algo, b.String())
+		}
+	}
+}
+
+func TestRunMultiAlgorithms(t *testing.T) {
+	path := writeInstance(t, sched.File{
+		Kind:  sched.KindMultiInterval,
+		Alpha: 1,
+		Multi: &sched.MultiInstance{Jobs: []sched.MultiJob{
+			sched.MultiJobFromTimes(0, 4),
+			sched.MultiJobFromTimes(1, 5),
+			sched.MultiJobFromTimes(9),
+		}},
+	})
+	for _, algo := range []string{"approx", "naive", "throughput"} {
+		var b strings.Builder
+		if err := run(path, algo, -1, 2, true, &b); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("%s: empty output", algo)
+		}
+	}
+}
+
+func TestRunLaysOutMultiprocForMultiAlgos(t *testing.T) {
+	path := writeInstance(t, sched.File{
+		Kind:  sched.KindOneInterval,
+		Alpha: 1,
+		Instance: &sched.Instance{Procs: 2, Jobs: []sched.Job{
+			{Release: 0, Deadline: 1}, {Release: 0, Deadline: 1},
+		}},
+	})
+	var b strings.Builder
+	if err := run(path, "naive", -1, 2, true, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "laid out") {
+		t.Fatalf("expected lay-out note:\n%s", b.String())
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	if err := run("/nonexistent/file.json", "gaps", -1, 2, true, &strings.Builder{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeInstance(t, sched.File{
+		Kind:     sched.KindOneInterval,
+		Instance: &sched.Instance{Procs: 1, Jobs: []sched.Job{{Release: 0, Deadline: 0}}},
+	})
+	if err := run(path, "bogus", -1, 2, true, &strings.Builder{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run(path, "approx", -1, 2, true, &strings.Builder{}); err != nil {
+		t.Fatalf("one-interval should lay out for approx: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+// Consultant: the minimum-restart story of §6 (Theorem 11).
+//
+// A consultant bills by the day: each maximal stretch of consecutive
+// work is one "day" (span), and calling the consultant back later costs
+// a new day. Each task can be done only at specified hours. Given a
+// budget of k days, schedule as many tasks as possible.
+//
+// The example runs the paper's greedy — repeatedly book the longest
+// fully-fillable stretch of hours — and compares it against the exact
+// optimum for increasing day budgets.
+//
+// Run with: go run ./examples/consultant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gapsched "repro"
+	"repro/internal/exact"
+	"repro/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	// 12 tasks, each possible at a few scattered hours of the month.
+	tasks := workload.UnitMulti(rng, 12, 3, 40)
+
+	fmt.Printf("%d tasks with allowed hours:\n", tasks.N())
+	for i, j := range tasks.Jobs {
+		fmt.Printf("  task %-2d %v\n", i, j.Times())
+	}
+
+	fmt.Println("\n days budget | greedy tasks done | optimal | greedy days used")
+	for k := 1; k <= 4; k++ {
+		res, err := gapsched.MaxThroughput(tasks, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := exact.MaxThroughput(tasks, k)
+		fmt.Printf("      %d      |        %2d         |   %2d    |       %d\n",
+			k, res.Jobs(), opt, res.Spans)
+	}
+
+	res, err := gapsched.MaxThroughput(tasks, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbooked stretches with a 3-day budget:")
+	for i, iv := range res.Intervals {
+		fmt.Printf("  day %d: hours [%d, %d]\n", i+1, iv.Lo, iv.Hi)
+	}
+}

@@ -1,0 +1,57 @@
+// Datacenter: multiprocessor wake-up minimization (Theorem 1).
+//
+// A rack of p machines receives batches of unit jobs with deadlines.
+// Every machine that wakes from sleep pays a fixed energy cost, so the
+// operator wants a feasible assignment minimizing total wake-ups. The
+// paper's Lemma 1 says an optimal solution is a "staircase": at every
+// time the busy machines form a prefix of the rack — exactly what the
+// exact DP returns. The example compares the DP against the eager EDF
+// dispatcher that a naive cluster scheduler would use, across rack
+// sizes.
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gapsched "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	// Two bursts of requests with moderate slack — a lull in between is
+	// an opportunity to sleep, if jobs are batched cleverly.
+	base := workload.Bursty(rng, 18, 2, 30, 4, 6)
+
+	fmt.Println("rack size | optimal wake-ups | EDF wake-ups | saved")
+	for _, p := range []int{1, 2, 3, 4} {
+		in := gapsched.NewMultiprocInstance(base.Jobs, p)
+		if !gapsched.Feasible(in) {
+			fmt.Printf("   p=%d    | infeasible — need a bigger rack\n", p)
+			continue
+		}
+		res, err := gapsched.MinimizeGaps(in)
+		if err != nil {
+			log.Fatalf("p=%d: %v", p, err)
+		}
+		edf, ok := gapsched.EDF(in)
+		if !ok {
+			log.Fatalf("p=%d: EDF failed on feasible instance", p)
+		}
+		fmt.Printf("   p=%d    |        %2d        |      %2d      |  %2d\n",
+			p, res.Spans, edf.Spans(), edf.Spans()-res.Spans)
+	}
+
+	// Show the staircase structure for p = 3.
+	in := gapsched.NewMultiprocInstance(base.Jobs, 3)
+	res, err := gapsched.MinimizeGaps(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noptimal staircase timeline for p=3 (α=4):")
+	fmt.Print(gapsched.Simulate(res.Schedule, 4).Render())
+}

@@ -1,0 +1,175 @@
+package gapsched
+
+// Integration tests exercising the public facade end to end across
+// modules: generator → solver → simulator → accounting, plus the
+// cross-algorithm consistency relations that tie the repository
+// together.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/workload"
+)
+
+func TestFacadeEndToEndOneInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		in := workload.FeasibleOneInterval(rng, 2+rng.Intn(10), 1+rng.Intn(3), 16, 5)
+		if !Feasible(in) {
+			t.Fatal("generator promised feasibility")
+		}
+		res, err := MinimizeGaps(in)
+		if err != nil {
+			t.Fatalf("MinimizeGaps: %v", err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			t.Fatalf("schedule invalid: %v", err)
+		}
+
+		const alpha = 2.5
+		pres, err := MinimizePower(in, alpha)
+		if err != nil {
+			t.Fatalf("MinimizePower: %v", err)
+		}
+		// The simulator's breakdown must equal the DP's optimum.
+		tl := Simulate(pres.Schedule, alpha)
+		if math.Abs(tl.Energy.Total-pres.Power) > 1e-9 {
+			t.Fatalf("simulated energy %v != DP power %v", tl.Energy.Total, pres.Power)
+		}
+		// Power optimum never exceeds the gap-optimal schedule's power.
+		if pres.Power > res.Schedule.PowerCost(alpha)+1e-9 {
+			t.Fatalf("power optimum %v above gap schedule's %v", pres.Power, res.Schedule.PowerCost(alpha))
+		}
+		// EDF is feasible and no better than the optimum.
+		edf, ok := EDF(in)
+		if !ok {
+			t.Fatal("EDF failed on feasible instance")
+		}
+		if edf.Spans() < res.Spans {
+			t.Fatalf("EDF %d spans beats optimum %d", edf.Spans(), res.Spans)
+		}
+	}
+}
+
+func TestFacadeEndToEndMultiInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		mi := workload.FeasibleMultiInterval(rng, 2+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2), 14)
+		if !FeasibleMulti(mi) {
+			t.Fatal("generator promised feasibility")
+		}
+		const alpha = 2.0
+		ms, st, err := ApproxMultiPower(mi, alpha, ApproxOptions{SearchDepth: 2})
+		if err != nil {
+			t.Fatalf("ApproxMultiPower: %v", err)
+		}
+		if err := ms.Validate(mi); err != nil {
+			t.Fatalf("approx schedule invalid: %v", err)
+		}
+		naive, err := AnyMultiSchedule(mi)
+		if err != nil {
+			t.Fatalf("AnyMultiSchedule: %v", err)
+		}
+		if err := naive.Validate(mi); err != nil {
+			t.Fatalf("naive schedule invalid: %v", err)
+		}
+		opt, ok := exact.PowerMulti(mi, alpha)
+		if !ok {
+			t.Fatal("oracle infeasible")
+		}
+		for name, got := range map[string]float64{
+			"approx": ms.PowerCost(alpha),
+			"naive":  naive.PowerCost(alpha),
+		} {
+			if got < opt-1e-9 {
+				t.Fatalf("%s power %v below optimum %v", name, got, opt)
+			}
+			if got > (1+alpha)*opt+1e-9 {
+				t.Fatalf("%s power %v above the universal (1+α) bound", name, got)
+			}
+		}
+		tl := SimulateMulti(ms, alpha)
+		if math.Abs(tl.Energy.Total-st.Power) > 1e-9 {
+			t.Fatalf("simulated %v != stats power %v", tl.Energy.Total, st.Power)
+		}
+	}
+}
+
+// TestLayOutReducesMultiprocToMultiInterval verifies the §1 reduction on
+// the span objective: the multiprocessor optimum equals the laid-out
+// single-machine multi-interval optimum (spans are preserved because
+// processor segments are separated and idle segment remainders are
+// free).
+func TestLayOutReducesMultiprocToMultiInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		in := workload.FeasibleOneInterval(rng, 2+rng.Intn(5), 1+rng.Intn(3), 8, 3)
+		mi, _ := LayOut(in)
+		direct, err := MinimizeGaps(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		laid, ok := exact.SpansMulti(mi)
+		if !ok {
+			t.Fatalf("trial %d: laid-out instance infeasible", trial)
+		}
+		if laid != direct.Spans {
+			t.Fatalf("trial %d: laid-out optimum %d != multiprocessor optimum %d (p=%d jobs %v)",
+				trial, laid, direct.Spans, in.Procs, in.Jobs)
+		}
+	}
+}
+
+func TestThroughputFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		mi := workload.MultiInterval(rng, 3+rng.Intn(6), 2, 2, 12)
+		res, err := MaxThroughput(mi, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Spans > 2 {
+			t.Fatalf("trial %d: budget exceeded", trial)
+		}
+		opt := exact.MaxThroughput(mi, 2)
+		if res.Jobs() > opt {
+			t.Fatalf("trial %d: greedy beats oracle", trial)
+		}
+	}
+}
+
+func TestGreedyFacadeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		in := workload.FeasibleOneInterval(rng, 2+rng.Intn(7), 1, 12, 4)
+		g, err := GreedyGapSchedule(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := MinimizeGaps(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if g.Spans < opt.Spans {
+			t.Fatalf("trial %d: greedy %d spans beats exact %d", trial, g.Spans, opt.Spans)
+		}
+	}
+}
+
+func TestConstructorsRoundTrip(t *testing.T) {
+	j := MultiJobFromTimes(3, 1, 2, 9)
+	if j.NumTimes() != 4 || !j.Contains(9) || j.Contains(4) {
+		t.Fatalf("MultiJobFromTimes wrong: %v", j)
+	}
+	iv := NewMultiJob(Interval{Lo: 0, Hi: 2}, Interval{Lo: 2, Hi: 4})
+	if len(iv.Intervals) != 1 {
+		t.Fatalf("NewMultiJob did not normalize: %v", iv.Intervals)
+	}
+	in := NewMultiprocInstance([]Job{{Release: 0, Deadline: 1}}, 3)
+	if in.Procs != 3 {
+		t.Fatal("NewMultiprocInstance lost procs")
+	}
+}

@@ -1,0 +1,106 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func laidOut(rng *rand.Rand, n, p, horizon, window int) (sched.MultiInstance, sched.Instance) {
+	in := workload.FeasibleOneInterval(rng, n, p, horizon, window)
+	mi, _ := sched.LayOut(in)
+	return mi, in
+}
+
+func TestDetectRecoversLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		p := 1 + rng.Intn(3)
+		mi, orig := laidOut(rng, 2+rng.Intn(6), p, 10, 4)
+		base, x, err := Detect(mi)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if base.Procs != orig.Procs {
+			t.Fatalf("trial %d: procs %d, want %d", trial, base.Procs, orig.Procs)
+		}
+		if p > 1 {
+			lo, hi := orig.TimeHorizon()
+			if x < hi-lo+2 {
+				t.Fatalf("trial %d: recovered period %d below layout period", trial, x)
+			}
+		}
+		for j := range orig.Jobs {
+			if base.Jobs[j] != orig.Jobs[j] {
+				t.Fatalf("trial %d: job %d mismatch: %v vs %v", trial, j, base.Jobs[j], orig.Jobs[j])
+			}
+		}
+	}
+}
+
+func TestDetectRejects(t *testing.T) {
+	// Different interval counts.
+	mi := sched.MultiInstance{Jobs: []sched.MultiJob{
+		sched.NewMultiJob(sched.Interval{Lo: 0, Hi: 1}, sched.Interval{Lo: 10, Hi: 11}),
+		sched.NewMultiJob(sched.Interval{Lo: 0, Hi: 1}),
+	}}
+	if _, _, err := Detect(mi); err != ErrNotArithmetic {
+		t.Fatalf("count mismatch: err = %v", err)
+	}
+	// Different periods.
+	mi = sched.MultiInstance{Jobs: []sched.MultiJob{
+		sched.NewMultiJob(sched.Interval{Lo: 0, Hi: 0}, sched.Interval{Lo: 10, Hi: 10}),
+		sched.NewMultiJob(sched.Interval{Lo: 1, Hi: 1}, sched.Interval{Lo: 12, Hi: 12}),
+	}}
+	if _, _, err := Detect(mi); err != ErrNotArithmetic {
+		t.Fatalf("period mismatch: err = %v", err)
+	}
+	// Different interval lengths within a job.
+	mi = sched.MultiInstance{Jobs: []sched.MultiJob{
+		sched.NewMultiJob(sched.Interval{Lo: 0, Hi: 1}, sched.Interval{Lo: 10, Hi: 13}),
+	}}
+	if _, _, err := Detect(mi); err != ErrNotArithmetic {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+	// Period too short: base windows span [0,5] (width 6) but the
+	// common period is only 6, so segments could touch.
+	mi = sched.MultiInstance{Jobs: []sched.MultiJob{
+		sched.NewMultiJob(sched.Interval{Lo: 0, Hi: 0}, sched.Interval{Lo: 6, Hi: 6}),
+		sched.NewMultiJob(sched.Interval{Lo: 5, Hi: 5}, sched.Interval{Lo: 11, Hi: 11}),
+	}}
+	if _, _, err := Detect(mi); err != ErrShortPeriod {
+		t.Fatalf("short period: err = %v", err)
+	}
+}
+
+func TestSolveMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := 1 + rng.Intn(3)
+		mi, _ := laidOut(rng, 2+rng.Intn(5), p, 8, 3)
+		res, err := Solve(mi)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, ok := exact.SpansMulti(mi)
+		if !ok {
+			t.Fatalf("trial %d: oracle infeasible", trial)
+		}
+		if res.Spans != want {
+			t.Fatalf("trial %d: arith %d spans, oracle %d", trial, res.Spans, want)
+		}
+		if got := res.Schedule.Spans(); got != want {
+			t.Fatalf("trial %d: schedule %d spans, oracle %d", trial, got, want)
+		}
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	res, err := Solve(sched.MultiInstance{})
+	if err != nil || res.Spans != 0 {
+		t.Fatalf("empty: %+v, %v", res, err)
+	}
+}

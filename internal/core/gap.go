@@ -1,0 +1,244 @@
+package core
+
+import (
+	"repro/internal/feas"
+	"repro/internal/sched"
+)
+
+// gapResult is one memo entry of the gap DP: the optimal cost of a state
+// plus the choice that attains it, for reconstruction.
+type gapResult struct {
+	cost   int
+	choice int8
+	tp     int32 // j_k's time for choiceB
+	lp     int8  // left child's own level at t′ (choiceB, t′ > t1)
+	lpp    int8  // right child's level at t′+1 (choiceB)
+}
+
+type gapSolver struct {
+	*base
+	memo map[state]gapResult
+}
+
+// Options tunes the gap DP for ablation experiments (E15). The zero
+// value is the production configuration.
+type Options struct {
+	// FullGrid replaces the anchor candidate grid (release/deadline
+	// neighbourhoods, Baptiste's Prop 2.1) with every integer time of
+	// the horizon. The optimum is unchanged; the state count grows.
+	FullGrid bool
+}
+
+// SolveGaps computes an optimal minimum-wake-up schedule for a
+// one-interval p-processor instance (Theorem 1). It returns
+// ErrInfeasible when no feasible schedule exists.
+func SolveGaps(in sched.Instance) (Result, error) {
+	return SolveGapsOpt(in, Options{})
+}
+
+// SolveGapsOpt is SolveGaps with explicit tuning options.
+func SolveGapsOpt(in sched.Instance, opts Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(in.Jobs)
+	if n == 0 {
+		return Result{Schedule: sched.Schedule{Procs: in.Procs}}, nil
+	}
+	if !feas.FeasibleOneInterval(in) {
+		return Result{}, ErrInfeasible
+	}
+	b := newBase(in)
+	if opts.FullGrid {
+		lo, hi := in.TimeHorizon()
+		b.grid = make([]int, 0, hi-lo+1)
+		for t := lo; t <= hi; t++ {
+			b.grid = append(b.grid, t)
+		}
+	}
+	s := &gapSolver{base: b, memo: make(map[state]gapResult)}
+	tStart := s.grid[0] - 1
+	tEnd := s.grid[len(s.grid)-1] + 1
+	root := mkState(tStart, tEnd, n, 0, 0, 0)
+	cost := s.dp(root)
+	if cost >= infCost {
+		// Cannot happen after the Hall pre-check; defensive.
+		return Result{}, ErrInfeasible
+	}
+	placed := make(map[int]int, n)
+	s.rebuild(root, placed)
+	schedule, err := assemble(n, in.Procs, placed)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := schedule.Validate(in); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Spans:    cost,
+		Gaps:     cost - 1,
+		Schedule: schedule,
+		States:   len(s.memo),
+	}, nil
+}
+
+// dp returns the minimum Σ_{u ∈ (t1, t2]} (l_u − l_{u−1})_+ over feasible
+// completions of the state, or infCost.
+func (s *gapSolver) dp(st state) int {
+	if r, ok := s.memo[st]; ok {
+		return r.cost
+	}
+	r := s.compute(st)
+	s.memo[st] = r
+	return r.cost
+}
+
+func (s *gapSolver) compute(st state) gapResult {
+	t1, t2 := int(st.t1), int(st.t2)
+	k, l1, l2, c2 := int(st.k), int(st.l1), int(st.l2), int(st.c2)
+	inf := gapResult{cost: infCost, choice: choiceNone}
+
+	if l1 < 0 || l2 < 0 || c2 < 0 || l1 > s.p || l2+c2 > s.p {
+		return inf
+	}
+
+	// Base: no own jobs. All own levels are zero; the c2 context jobs at
+	// t2 start c2 fresh spans when the interval has interior width.
+	if k == 0 {
+		if l1 != 0 || l2 != 0 {
+			return inf
+		}
+		cost := 0
+		if t2 > t1 {
+			cost = c2
+		}
+		return gapResult{cost: cost, choice: choiceEmpty}
+	}
+
+	list := s.list(t1, t2)
+	if k > len(list) {
+		return inf
+	}
+
+	// Base: single time unit. All k own jobs execute at t1 = t2.
+	if t1 == t2 {
+		if l1 != k || l2 != k || k+c2 > s.p {
+			return inf
+		}
+		return gapResult{cost: 0, choice: choicePoint}
+	}
+
+	jk := list[k-1]
+	job := s.jobs[jk]
+	best := inf
+
+	// Case A: j_k at t′ = t2, joining the context stack.
+	if l2 >= 1 && job.Deadline >= t2 {
+		if c := s.dp(mkState(t1, t2, k-1, l1, l2-1, c2+1)); c < best.cost {
+			best = gapResult{cost: c, choice: choiceA}
+		}
+	}
+
+	// Case B: j_k at a grid time t′ with t1 ≤ t′ < t2.
+	lo := job.Release
+	if lo < t1 {
+		lo = t1
+	}
+	hi := job.Deadline
+	if hi > t2-1 {
+		hi = t2 - 1
+	}
+	for _, tp := range s.gridIn(lo, hi) {
+		i := pendingAfter(s.jobs, list, k, tp)
+		kL := k - 1 - i
+
+		// The true level at t′+1 is the right child's own level plus,
+		// when t′+1 = t2, the context jobs stacked there by ancestors.
+		ctxAtNext := 0
+		if tp+1 == t2 {
+			ctxAtNext = c2
+		}
+
+		if tp == t1 {
+			// j_k and the kL left jobs all sit at t1; the left child is
+			// the single-point base with j_k as context.
+			if l1 != kL+1 {
+				continue
+			}
+			left := s.dp(mkState(t1, t1, kL, kL, kL, 1))
+			if left >= infCost {
+				continue
+			}
+			for lpp := 0; lpp <= s.p; lpp++ {
+				right := s.dp(mkState(t1+1, t2, i, lpp, l2, c2))
+				if right >= infCost {
+					continue
+				}
+				boundary := lpp + ctxAtNext - l1
+				if boundary < 0 {
+					boundary = 0
+				}
+				if c := left + boundary + right; c < best.cost {
+					best = gapResult{cost: c, choice: choiceB, tp: int32(tp), lp: int8(-1), lpp: int8(lpp)}
+				}
+			}
+			continue
+		}
+
+		for lp := 0; lp <= s.p-1; lp++ { // left child's own level at t′; +1 for j_k ≤ p
+			left := s.dp(mkState(t1, tp, kL, l1, lp, 1))
+			if left >= infCost {
+				continue
+			}
+			for lpp := 0; lpp <= s.p; lpp++ {
+				right := s.dp(mkState(tp+1, t2, i, lpp, l2, c2))
+				if right >= infCost {
+					continue
+				}
+				boundary := lpp + ctxAtNext - (lp + 1)
+				if boundary < 0 {
+					boundary = 0
+				}
+				if c := left + boundary + right; c < best.cost {
+					best = gapResult{cost: c, choice: choiceB, tp: int32(tp), lp: int8(lp), lpp: int8(lpp)}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// rebuild replays the recorded choices, recording job→time placements.
+func (s *gapSolver) rebuild(st state, placed map[int]int) {
+	r, ok := s.memo[st]
+	if !ok || r.choice == choiceNone {
+		return
+	}
+	t1, t2 := int(st.t1), int(st.t2)
+	k := int(st.k)
+	switch r.choice {
+	case choiceEmpty:
+		return
+	case choicePoint:
+		for _, j := range s.list(t1, t2)[:k] {
+			placed[j] = t1
+		}
+	case choiceA:
+		jk := s.list(t1, t2)[k-1]
+		placed[jk] = t2
+		s.rebuild(mkState(t1, t2, k-1, int(st.l1), int(st.l2)-1, int(st.c2)+1), placed)
+	case choiceB:
+		list := s.list(t1, t2)
+		jk := list[k-1]
+		tp := int(r.tp)
+		placed[jk] = tp
+		i := pendingAfter(s.jobs, list, k, tp)
+		kL := k - 1 - i
+		if tp == t1 {
+			s.rebuild(mkState(t1, t1, kL, kL, kL, 1), placed)
+		} else {
+			s.rebuild(mkState(t1, tp, kL, int(st.l1), int(r.lp), 1), placed)
+		}
+		s.rebuild(mkState(tp+1, t2, i, int(r.lpp), int(st.l2), int(st.c2)), placed)
+	}
+}

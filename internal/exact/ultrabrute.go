@@ -1,0 +1,143 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// MaxUltraBruteJobs bounds the instance size accepted by the
+// normalization-free solvers.
+const MaxUltraBruteJobs = 7
+
+// UltraBruteSpans enumerates every feasible assignment of jobs to
+// (processor, time) slots — with no staircase or EDF normalization — and
+// returns the minimum total span count. It exists solely to certify that
+// the normalizations used by the fast oracles and the dynamic programs
+// are loss-free.
+func UltraBruteSpans(in sched.Instance) (spans int, ok bool) {
+	n := len(in.Jobs)
+	if n == 0 {
+		return 0, true
+	}
+	if n > MaxUltraBruteJobs {
+		panic(fmt.Sprintf("exact: %d jobs exceeds ultra-brute limit %d", n, MaxUltraBruteJobs))
+	}
+	slots := make([]sched.Assignment, n)
+	used := make(map[sched.Assignment]bool, n)
+	const inf = int(^uint(0) >> 1)
+	best := inf
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			s := sched.Schedule{Procs: in.Procs, Slots: append([]sched.Assignment(nil), slots...)}
+			if sp := s.Spans(); sp < best {
+				best = sp
+			}
+			return
+		}
+		j := in.Jobs[i]
+		for t := j.Release; t <= j.Deadline; t++ {
+			for q := 0; q < in.Procs; q++ {
+				a := sched.Assignment{Proc: q, Time: t}
+				if used[a] {
+					continue
+				}
+				used[a] = true
+				slots[i] = a
+				rec(i + 1)
+				delete(used, a)
+			}
+		}
+	}
+	rec(0)
+	if best == inf {
+		return 0, false
+	}
+	return best, true
+}
+
+// UltraBrutePower enumerates every feasible assignment and returns the
+// minimum power consumption, with each processor bridging each of its
+// gaps optimally (min(len, α)); no staircase normalization is applied.
+func UltraBrutePower(in sched.Instance, alpha float64) (power float64, ok bool) {
+	n := len(in.Jobs)
+	if n == 0 {
+		return 0, true
+	}
+	if n > MaxUltraBruteJobs {
+		panic(fmt.Sprintf("exact: %d jobs exceeds ultra-brute limit %d", n, MaxUltraBruteJobs))
+	}
+	slots := make([]sched.Assignment, n)
+	used := make(map[sched.Assignment]bool, n)
+	best, found := 0.0, false
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			s := sched.Schedule{Procs: in.Procs, Slots: append([]sched.Assignment(nil), slots...)}
+			if p := s.PowerCost(alpha); !found || p < best {
+				best, found = p, true
+			}
+			return
+		}
+		j := in.Jobs[i]
+		for t := j.Release; t <= j.Deadline; t++ {
+			for q := 0; q < in.Procs; q++ {
+				a := sched.Assignment{Proc: q, Time: t}
+				if used[a] {
+					continue
+				}
+				used[a] = true
+				slots[i] = a
+				rec(i + 1)
+				delete(used, a)
+			}
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+// UltraBruteMultiSpans enumerates every injective assignment of
+// multi-interval jobs to allowed times and returns the minimum span
+// count.
+func UltraBruteMultiSpans(mi sched.MultiInstance) (spans int, ok bool) {
+	n := mi.N()
+	if n == 0 {
+		return 0, true
+	}
+	if n > MaxUltraBruteJobs {
+		panic(fmt.Sprintf("exact: %d jobs exceeds ultra-brute limit %d", n, MaxUltraBruteJobs))
+	}
+	times := make([]int, n)
+	used := make(map[int]bool, n)
+	const inf = int(^uint(0) >> 1)
+	best := inf
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			ms := sched.MultiSchedule{Times: append([]int(nil), times...)}
+			if sp := ms.Spans(); sp < best {
+				best = sp
+			}
+			return
+		}
+		for _, t := range mi.Jobs[i].Times() {
+			if used[t] {
+				continue
+			}
+			used[t] = true
+			times[i] = t
+			rec(i + 1)
+			delete(used, t)
+		}
+	}
+	rec(0)
+	if best == inf {
+		return 0, false
+	}
+	return best, true
+}

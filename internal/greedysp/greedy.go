@@ -1,0 +1,147 @@
+// Package greedysp implements the greedy 3-approximation for
+// one-interval single-processor gap scheduling attributed to Feige,
+// Hajiaghayi, Khanna and Naor [FHKN06] in the paper: repeatedly choose
+// the largest time interval that can be forbidden (left idle) while a
+// feasible schedule still exists, until no non-empty interval can be
+// forbidden; then schedule the jobs in the remaining allowed times.
+//
+// The paper reports that the straightforward analysis gives an O(lg n)
+// factor by analogy to set cover and that a more careful argument proves
+// a factor 3; the harness (experiment E10) measures the true ratios
+// against the exact DP.
+package greedysp
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+)
+
+// ErrInfeasible is returned when the instance admits no feasible
+// schedule.
+var ErrInfeasible = errors.New("greedysp: instance is infeasible")
+
+// Result describes the greedy outcome.
+type Result struct {
+	// Schedule is the final feasible schedule.
+	Schedule sched.Schedule
+	// Spans is the number of spans (gaps+1) of the schedule.
+	Spans int
+	// Forbidden lists the idle intervals chosen, in choice order.
+	Forbidden []sched.Interval
+}
+
+// Solve runs the greedy on a single-processor one-interval instance.
+func Solve(in sched.Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if in.Procs != 1 {
+		return Result{}, errors.New("greedysp: single-processor instances only")
+	}
+	if len(in.Jobs) == 0 {
+		return Result{Schedule: sched.Schedule{Procs: 1}}, nil
+	}
+	lo, hi := in.TimeHorizon()
+	forbidden := make(map[int]bool)
+	feasible := func() bool {
+		return matchAllowed(in, lo, hi, forbidden) != nil
+	}
+	if !feasible() {
+		return Result{}, ErrInfeasible
+	}
+
+	var chosen []sched.Interval
+	for {
+		gap := largestFeasibleGap(in, lo, hi, forbidden)
+		if gap.Lo > gap.Hi {
+			break
+		}
+		for t := gap.Lo; t <= gap.Hi; t++ {
+			forbidden[t] = true
+		}
+		chosen = append(chosen, gap)
+	}
+
+	times := matchAllowed(in, lo, hi, forbidden)
+	if times == nil {
+		return Result{}, ErrInfeasible // cannot happen: we only forbade feasibly
+	}
+	s := sched.Schedule{Procs: 1, Slots: make([]sched.Assignment, len(in.Jobs))}
+	for i, t := range times {
+		s.Slots[i] = sched.Assignment{Proc: 0, Time: t}
+	}
+	return Result{Schedule: s, Spans: s.Spans(), Forbidden: chosen}, nil
+}
+
+// largestFeasibleGap scans all candidate intervals [a,b] within [lo,hi],
+// longest first, and returns the first whose removal keeps the instance
+// feasible. Returns an empty interval when none exists.
+func largestFeasibleGap(in sched.Instance, lo, hi int, forbidden map[int]bool) sched.Interval {
+	maxLen := hi - lo + 1
+	for length := maxLen; length >= 1; length-- {
+		for a := lo; a+length-1 <= hi; a++ {
+			b := a + length - 1
+			if anyForbidden(forbidden, a, b) {
+				continue // already (partly) forbidden: not a new gap
+			}
+			if matchAllowedExtra(in, lo, hi, forbidden, a, b) != nil {
+				return sched.Interval{Lo: a, Hi: b}
+			}
+		}
+	}
+	return sched.Interval{Lo: 1, Hi: 0}
+}
+
+func anyForbidden(forbidden map[int]bool, a, b int) bool {
+	for t := a; t <= b; t++ {
+		if forbidden[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// matchAllowed computes a feasible assignment of all jobs to allowed
+// times (nil if none): job i → times[i].
+func matchAllowed(in sched.Instance, lo, hi int, forbidden map[int]bool) []int {
+	return matchAllowedExtra(in, lo, hi, forbidden, 1, 0)
+}
+
+// matchAllowedExtra additionally forbids [exLo, exHi].
+func matchAllowedExtra(in sched.Instance, lo, hi int, forbidden map[int]bool, exLo, exHi int) []int {
+	var times []int
+	for t := lo; t <= hi; t++ {
+		if !forbidden[t] && !(exLo <= t && t <= exHi) {
+			times = append(times, t)
+		}
+	}
+	index := make(map[int]int, len(times))
+	for i, t := range times {
+		index[t] = i
+	}
+	g := feas.NewBipartite(len(in.Jobs), len(times))
+	for u, j := range in.Jobs {
+		for t := j.Release; t <= j.Deadline; t++ {
+			if v, ok := index[t]; ok {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	m := feas.MaxMatching(g)
+	if m.Size != len(in.Jobs) {
+		return nil
+	}
+	out := make([]int, len(in.Jobs))
+	for u := range out {
+		out[u] = times[m.MatchL[u]]
+	}
+	return out
+}
+
+// sortIntervals is exposed for tests.
+func sortIntervals(ivs []sched.Interval) {
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].Lo < ivs[b].Lo })
+}

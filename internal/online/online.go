@@ -1,0 +1,64 @@
+// Package online demonstrates the paper's §1 observation that one-interval
+// gap scheduling is uninteresting online: any algorithm that guarantees
+// feasibility must schedule eagerly (earliest-deadline-first, never
+// idling while work is pending), and on the adversarial family LB(n) it
+// pays Ω(n) spans while the offline optimum needs one.
+package online
+
+import (
+	"errors"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// ErrInfeasible is returned when the instance admits no feasible
+// schedule.
+var ErrInfeasible = errors.New("online: instance is infeasible")
+
+// EDF runs the eager earliest-deadline-first rule, the canonical correct
+// online algorithm: at every time unit it executes the released,
+// unfinished jobs with the earliest deadlines (up to p of them), never
+// idling while work is pending.
+func EDF(in sched.Instance) (sched.Schedule, error) {
+	s, ok := feas.EDFOneInterval(in)
+	if !ok {
+		return sched.Schedule{}, ErrInfeasible
+	}
+	return s, nil
+}
+
+// LowerBoundReport compares eager EDF against the known offline optimum
+// on the adversarial family LB(n) of §1.
+type LowerBoundReport struct {
+	N            int
+	OnlineSpans  int
+	OfflineSpans int // 1 analytically: the tight jobs' idle units absorb the flexible jobs
+	Ratio        float64
+}
+
+// LowerBound builds workload.OnlineLowerBound(n), runs EDF, and reports
+// the competitive ratio against the offline optimum.
+//
+// Offline, the n flexible jobs [0, 3n] fit exactly into the n idle units
+// n+1, n+3, …, 3n−1 interleaving the tight jobs at n, n+2, …, 3n−2, so
+// the whole schedule is one span. Eager EDF instead runs the flexible
+// jobs during [0, n); that block merges with the first tight job at
+// time n, and the remaining n−1 tight jobs each sit in isolation: n
+// spans in total, a competitive ratio of n. (The offline optimum is
+// re-verified against the exact DP for small n in tests.)
+func LowerBound(n int) (LowerBoundReport, error) {
+	in := workload.OnlineLowerBound(n)
+	s, err := EDF(in)
+	if err != nil {
+		return LowerBoundReport{}, err
+	}
+	online := s.Spans()
+	return LowerBoundReport{
+		N:            n,
+		OnlineSpans:  online,
+		OfflineSpans: 1,
+		Ratio:        float64(online),
+	}, nil
+}

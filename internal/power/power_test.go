@@ -1,0 +1,105 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestSimulateMatchesPowerCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		p := 1 + rng.Intn(3)
+		used := map[sched.Assignment]bool{}
+		var slots []sched.Assignment
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			a := sched.Assignment{Proc: rng.Intn(p), Time: rng.Intn(14)}
+			if !used[a] {
+				used[a] = true
+				slots = append(slots, a)
+			}
+		}
+		s := sched.Schedule{Procs: p, Slots: slots}
+		for _, alpha := range []float64{0, 0.5, 1, 2.5, 7} {
+			tl := Simulate(s, alpha)
+			if want := s.PowerCost(alpha); math.Abs(tl.Energy.Total-want) > 1e-9 {
+				t.Fatalf("trial %d α=%v: simulated %v, accounting %v (slots %v)",
+					trial, alpha, tl.Energy.Total, want, slots)
+			}
+		}
+	}
+}
+
+func TestSimulateBridgesIffShorter(t *testing.T) {
+	s := sched.Schedule{Procs: 1, Slots: []sched.Assignment{
+		{Proc: 0, Time: 0}, {Proc: 0, Time: 3}, // gap length 2
+	}}
+	bridged := Simulate(s, 5)
+	if bridged.Energy.IdleActiveUnits != 2 || bridged.Energy.Transitions != 1 {
+		t.Fatalf("α=5 should bridge: %+v", bridged.Energy)
+	}
+	slept := Simulate(s, 1)
+	if slept.Energy.IdleActiveUnits != 0 || slept.Energy.Transitions != 2 {
+		t.Fatalf("α=1 should sleep: %+v", slept.Energy)
+	}
+	// Tie (gap == α): either is optimal; Simulate sleeps (strict <).
+	tie := Simulate(s, 2)
+	if math.Abs(tie.Energy.Total-s.PowerCost(2)) > 1e-9 {
+		t.Fatalf("tie case cost mismatch: %v vs %v", tie.Energy.Total, s.PowerCost(2))
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	tl := Simulate(sched.Schedule{Procs: 2}, 3)
+	if tl.Energy.Total != 0 || len(tl.States) != 2 {
+		t.Fatalf("empty timeline wrong: %+v", tl)
+	}
+}
+
+func TestRenderGlyphs(t *testing.T) {
+	s := sched.Schedule{Procs: 1, Slots: []sched.Assignment{
+		{Proc: 0, Time: 0}, {Proc: 0, Time: 2},
+	}}
+	out := Simulate(s, 10).Render()
+	if !strings.Contains(out, "#~#") {
+		t.Fatalf("expected bridged glyphs #~#, got:\n%s", out)
+	}
+	out = Simulate(s, 0.5).Render()
+	if !strings.Contains(out, "#.#") {
+		t.Fatalf("expected sleeping glyphs #.#, got:\n%s", out)
+	}
+}
+
+func TestSimulateMulti(t *testing.T) {
+	ms := sched.MultiSchedule{Times: []int{0, 1, 5}}
+	tl := SimulateMulti(ms, 2)
+	if math.Abs(tl.Energy.Total-ms.PowerCost(2)) > 1e-9 {
+		t.Fatalf("multi simulate %v != accounting %v", tl.Energy.Total, ms.PowerCost(2))
+	}
+}
+
+func TestSpanSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := workload.FeasibleOneInterval(rng, 5, 2, 8, 3)
+	_ = in
+	s := sched.Schedule{Procs: 2, Slots: []sched.Assignment{
+		{Proc: 0, Time: 1}, {Proc: 0, Time: 2}, {Proc: 1, Time: 7},
+	}}
+	out := SpanSummary(s)
+	if !strings.Contains(out, "[1,2]") || !strings.Contains(out, "[7,7]") {
+		t.Fatalf("span summary wrong:\n%s", out)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Asleep.String() != "asleep" || Active.String() != "active" || Busy.String() != "busy" {
+		t.Fatal("state names wrong")
+	}
+	if Asleep.Rune() != '.' || Active.Rune() != '~' || Busy.Rune() != '#' {
+		t.Fatal("state glyphs wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package powerdown
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestOfflineCost(t *testing.T) {
+	off := Offline{}
+	if off.Cost(3, 5) != 3 || off.Cost(7, 5) != 5 || off.Cost(5, 5) != 5 {
+		t.Fatal("offline min(L, α) broken")
+	}
+}
+
+func TestSkiRentalIs2Competitive(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1, 2, 5, 10} {
+		r := CompetitiveRatio(SkiRental{}, alpha, 200)
+		if r > 2+1e-9 {
+			t.Fatalf("α=%v: ski rental ratio %v > 2", alpha, r)
+		}
+	}
+	// The bound is tight: an idle period just past α costs ~2α.
+	r := CompetitiveRatio(SkiRental{}, 10, 200)
+	if r < 1.9 {
+		t.Fatalf("ski rental ratio %v unexpectedly far below 2", r)
+	}
+}
+
+// TestRandomizedExpRatio: the closed-form expected cost must be exactly
+// e/(e−1)·min(L, α) for every idle length.
+func TestRandomizedExpRatio(t *testing.T) {
+	target := math.E / (math.E - 1)
+	p := RandomizedExp{}
+	for _, alpha := range []float64{1, 2.5, 8} {
+		for l := 1; l <= 50; l++ {
+			want := target * math.Min(float64(l), alpha)
+			if got := p.Cost(l, alpha); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("α=%v L=%d: cost %v, want %v", alpha, l, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomizedMatchesMonteCarlo cross-checks the closed form against
+// sampling from the density via inverse transform.
+func TestRandomizedMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const alpha = 4.0
+	const samples = 200000
+	p := RandomizedExp{}
+	for _, l := range []int{2, 4, 9} {
+		var sum float64
+		for i := 0; i < samples; i++ {
+			// Inverse transform for F(t) = (e^{t/α}−1)/(e−1).
+			u := rng.Float64()
+			tau := alpha * math.Log(1+u*(math.E-1))
+			if float64(l) <= tau {
+				sum += float64(l)
+			} else {
+				sum += tau + alpha
+			}
+		}
+		mc := sum / samples
+		if got := p.Cost(l, alpha); math.Abs(got-mc) > 0.03*got {
+			t.Fatalf("L=%d: closed form %v vs Monte Carlo %v", l, got, mc)
+		}
+	}
+}
+
+func TestThresholdEdges(t *testing.T) {
+	p := Threshold{Tau: 0} // sleep immediately: every gap costs α
+	if p.Cost(10, 3) != 3 || p.Cost(1, 3) != 3 {
+		t.Fatal("τ=0 should always pay exactly α")
+	}
+	alwaysOn := Threshold{Tau: math.Inf(1)}
+	if alwaysOn.Cost(10, 3) != 10 {
+		t.Fatal("τ=∞ should pay the idle length")
+	}
+}
+
+// TestPolicyDominance: no online policy beats offline on any gap.
+func TestPolicyDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	off := Offline{}
+	policies := []Policy{SkiRental{}, RandomizedExp{}, Threshold{Tau: 1}, Threshold{Tau: 7}}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		idle := 1 + r.Intn(40)
+		alpha := 0.25 + 10*r.Float64()
+		for _, p := range policies {
+			if p.Cost(idle, alpha) < off.Cost(idle, alpha)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateEDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		in := workload.FeasibleOneInterval(rng, 2+rng.Intn(8), 1, 16, 4)
+		const alpha = 3.0
+		offRep, ok := EvaluateEDF(in, alpha, Offline{})
+		if !ok {
+			t.Fatalf("trial %d: EDF failed", trial)
+		}
+		if math.Abs(offRep.Ratio-1) > 1e-9 {
+			t.Fatalf("trial %d: offline against itself has ratio %v", trial, offRep.Ratio)
+		}
+		for _, p := range []Policy{SkiRental{}, RandomizedExp{}} {
+			rep, ok := EvaluateEDF(in, alpha, p)
+			if !ok {
+				t.Fatalf("trial %d: EDF failed", trial)
+			}
+			if rep.Total < rep.OfflineTotal-1e-9 {
+				t.Fatalf("trial %d: %s beat offline: %+v", trial, p.Name(), rep)
+			}
+			if rep.Ratio > 2+1e-9 {
+				t.Fatalf("trial %d: %s ratio %v above 2 (total includes busy time)", trial, p.Name(), rep.Ratio)
+			}
+		}
+	}
+}
+
+func TestEvaluateEDFInfeasible(t *testing.T) {
+	in := sched.NewInstance([]sched.Job{{Release: 0, Deadline: 0}, {Release: 0, Deadline: 0}})
+	if _, ok := EvaluateEDF(in, 1, SkiRental{}); ok {
+		t.Fatal("accepted infeasible instance")
+	}
+}

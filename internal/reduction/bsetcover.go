@@ -1,0 +1,154 @@
+package reduction
+
+import (
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/setcover"
+)
+
+// BSetCoverDisjoint is the Theorem 10 construction: a disjoint-unit
+// gap-scheduling instance built from a B-set-cover instance so that the
+// optimal span count equals the optimal cover size.
+//
+// For every set c_i and every non-empty subset A ⊆ c_i there is an
+// interval of length |A| (all intervals pairwise non-adjacent); element
+// e may run at the rank-of-e position of every interval whose subset
+// contains it. Covering with k sets and assignment A_1..A_k fills k
+// intervals completely — k spans; conversely every schedule's used
+// intervals induce a cover of at most the span count.
+type BSetCoverDisjoint struct {
+	Cover setcover.Instance
+	Multi sched.MultiInstance
+	// Subsets[x] describes the x-th interval: its set index, its subset
+	// (sorted element ids) and its interval.
+	Subsets []SubsetInterval
+}
+
+// SubsetInterval is one (set, subset) interval of the construction.
+type SubsetInterval struct {
+	Set      int
+	Elements []int
+	Interval sched.Interval
+}
+
+// MaxBSetCoverBits bounds 2^B blowup of the construction.
+const MaxBSetCoverBits = 6
+
+// FromBSetCoverDisjoint builds the Theorem 10 instance. Panics when a
+// set exceeds MaxBSetCoverBits elements (the construction is 2^B-sized;
+// B is a constant in the theorem).
+func FromBSetCoverDisjoint(sc setcover.Instance) BSetCoverDisjoint {
+	r := BSetCoverDisjoint{Cover: sc}
+	cursor := 0
+	timesOf := make([][]int, sc.NumElems)
+	for i, s := range sc.Sets {
+		if len(s) > MaxBSetCoverBits {
+			panic("reduction: set too large for the 2^B Theorem 10 construction")
+		}
+		sorted := append([]int{}, s...)
+		sort.Ints(sorted)
+		for mask := 1; mask < 1<<uint(len(sorted)); mask++ {
+			var elems []int
+			for b := 0; b < len(sorted); b++ {
+				if mask&(1<<uint(b)) != 0 {
+					elems = append(elems, sorted[b])
+				}
+			}
+			iv := sched.Interval{Lo: cursor, Hi: cursor + len(elems) - 1}
+			cursor = iv.Hi + 2 // one idle unit: intervals never merge spans
+			r.Subsets = append(r.Subsets, SubsetInterval{Set: i, Elements: elems, Interval: iv})
+			for rank, e := range elems {
+				timesOf[e] = append(timesOf[e], iv.Lo+rank)
+			}
+		}
+	}
+	jobs := make([]sched.MultiJob, sc.NumElems)
+	for e, ts := range timesOf {
+		jobs[e] = sched.MultiJobFromTimes(ts...)
+	}
+	r.Multi = sched.MultiInstance{Jobs: jobs}
+	return r
+}
+
+// CoverToSchedule converts a cover into a schedule with exactly
+// len(assignment-used-sets) spans: each element is assigned to one
+// chosen covering set, and each used set's assigned elements run in the
+// interval of exactly that subset.
+func (r BSetCoverDisjoint) CoverToSchedule(chosen []int) (sched.MultiSchedule, bool) {
+	if !r.Cover.IsCover(chosen) {
+		return sched.MultiSchedule{}, false
+	}
+	n := r.Cover.NumElems
+	assigned := make([]int, n)
+	for e := range assigned {
+		assigned[e] = -1
+	}
+	for _, i := range chosen {
+		for _, e := range r.Cover.Sets[i] {
+			if assigned[e] < 0 {
+				assigned[e] = i
+			}
+		}
+	}
+	elemsOf := make(map[int][]int)
+	for e, i := range assigned {
+		elemsOf[i] = append(elemsOf[i], e)
+	}
+	out := sched.MultiSchedule{Times: make([]int, n)}
+	for i, elems := range elemsOf {
+		sort.Ints(elems)
+		si := r.findSubset(i, elems)
+		if si < 0 {
+			return sched.MultiSchedule{}, false
+		}
+		for rank, e := range elems {
+			out.Times[e] = r.Subsets[si].Interval.Lo + rank
+		}
+	}
+	if err := out.Validate(r.Multi); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+func (r BSetCoverDisjoint) findSubset(set int, elems []int) int {
+	for si, s := range r.Subsets {
+		if s.Set != set || len(s.Elements) != len(elems) {
+			continue
+		}
+		same := true
+		for i := range elems {
+			if s.Elements[i] != elems[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return si
+		}
+	}
+	return -1
+}
+
+// ScheduleToCover extracts the cover induced by a schedule: the sets
+// whose intervals execute at least one job. Its size is at most the
+// schedule's span count.
+func (r BSetCoverDisjoint) ScheduleToCover(ms sched.MultiSchedule) []int {
+	used := make(map[int]bool)
+	for e := 0; e < r.Cover.NumElems; e++ {
+		t := ms.Times[e]
+		for _, s := range r.Subsets {
+			if s.Interval.Contains(t) {
+				used[s.Set] = true
+				break
+			}
+		}
+	}
+	out := make([]int, 0, len(used))
+	for i := range used {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

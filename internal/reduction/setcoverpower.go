@@ -1,0 +1,155 @@
+// Package reduction implements the paper's hardness reductions (§4–§5)
+// constructively: each theorem's instance map, its solution pull-back,
+// and the cost equivalence it proves. Hardness theorems thereby become
+// testable statements — e.g. "the constructed power instance has optimum
+// n + kα iff the set-cover instance has optimum k" is asserted against
+// exact solvers on small inputs in tests and experiment E6–E8.
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/setcover"
+)
+
+// SetCoverPower is the Theorem 4/5 construction: a multi-interval
+// power-minimization instance built from a set-cover instance.
+//
+// For each set c_i an interval I_i of length |c_i|; intervals pairwise
+// separated by more than n³ so that bridging between them is never
+// worthwhile; element e becomes a job executable anywhere in each I_i
+// with e ∈ c_i; one extra unit-length interval with a private job forces
+// at least one wake-up. Theorem 4 sets Alpha = n; Theorem 5 (B-set
+// cover) sets Alpha = B.
+type SetCoverPower struct {
+	Cover setcover.Instance
+	Multi sched.MultiInstance
+	Alpha float64
+	// IntervalOf[i] is the interval of set i; Extra is the private
+	// interval of the final job.
+	IntervalOf []sched.Interval
+	Extra      sched.Interval
+}
+
+// FromSetCover builds the Theorem 4 instance (alpha = n).
+func FromSetCover(sc setcover.Instance) SetCoverPower {
+	return fromSetCover(sc, float64(sc.NumElems))
+}
+
+// FromBSetCover builds the Theorem 5 instance (alpha = B, the maximum
+// set size).
+func FromBSetCover(sc setcover.Instance) SetCoverPower {
+	return fromSetCover(sc, float64(sc.MaxSetSize()))
+}
+
+func fromSetCover(sc setcover.Instance, alpha float64) SetCoverPower {
+	n := sc.NumElems
+	spacing := n*n*n + 1
+	if spacing < 8 {
+		spacing = 8
+	}
+	r := SetCoverPower{Cover: sc, Alpha: alpha, IntervalOf: make([]sched.Interval, len(sc.Sets))}
+	cursor := 0
+	for i, s := range sc.Sets {
+		r.IntervalOf[i] = sched.Interval{Lo: cursor, Hi: cursor + len(s) - 1}
+		cursor += len(s) + spacing
+	}
+	r.Extra = sched.Interval{Lo: cursor, Hi: cursor}
+
+	jobs := make([]sched.MultiJob, n+1)
+	for e := 0; e < n; e++ {
+		var ivs []sched.Interval
+		for i, s := range sc.Sets {
+			for _, x := range s {
+				if x == e {
+					ivs = append(ivs, r.IntervalOf[i])
+					break
+				}
+			}
+		}
+		jobs[e] = sched.NewMultiJob(ivs...)
+	}
+	jobs[n] = sched.NewMultiJob(r.Extra)
+	r.Multi = sched.MultiInstance{Jobs: jobs}
+	return r
+}
+
+// CoverToSchedule converts a cover into a feasible schedule: each
+// element is assigned to one chosen covering set and the assigned
+// elements are packed consecutively from the left of that set's
+// interval. Returns false if chosen is not a cover.
+func (r SetCoverPower) CoverToSchedule(chosen []int) (sched.MultiSchedule, bool) {
+	if !r.Cover.IsCover(chosen) {
+		return sched.MultiSchedule{}, false
+	}
+	n := r.Cover.NumElems
+	assigned := make([]int, n) // element → chosen set
+	for e := range assigned {
+		assigned[e] = -1
+	}
+	for _, i := range chosen {
+		for _, e := range r.Cover.Sets[i] {
+			if assigned[e] < 0 {
+				assigned[e] = i
+			}
+		}
+	}
+	next := make(map[int]int) // set → next free offset in its interval
+	out := sched.MultiSchedule{Times: make([]int, n+1)}
+	for e := 0; e < n; e++ {
+		i := assigned[e]
+		out.Times[e] = r.IntervalOf[i].Lo + next[i]
+		next[i]++
+	}
+	out.Times[n] = r.Extra.Lo
+	if err := out.Validate(r.Multi); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+// ScheduleToCover extracts the cover induced by a schedule: every set
+// whose interval executes at least one job.
+func (r SetCoverPower) ScheduleToCover(ms sched.MultiSchedule) []int {
+	used := make(map[int]bool)
+	for e := 0; e < r.Cover.NumElems; e++ {
+		t := ms.Times[e]
+		for i, iv := range r.IntervalOf {
+			if iv.Contains(t) {
+				used[i] = true
+				break
+			}
+		}
+	}
+	out := make([]int, 0, len(used))
+	for i := range used {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PowerOfCoverSize returns the power consumption that a cover of size k
+// induces under this construction's exact accounting: n+1 busy units and
+// k+1 wake-ups (the chosen intervals plus the extra interval; the > n³
+// separation makes bridging more expensive than alpha).
+func (r SetCoverPower) PowerOfCoverSize(k int) float64 {
+	return float64(r.Cover.NumElems+1) + r.Alpha*float64(k+1)
+}
+
+// SpansOfCoverSize returns the gap-objective value (Theorem 6): spans
+// equal cover size + 1.
+func (r SetCoverPower) SpansOfCoverSize(k int) int { return k + 1 }
+
+// CoverSizeOfPower inverts PowerOfCoverSize, returning the cover size a
+// schedule of the given power certifies.
+func (r SetCoverPower) CoverSizeOfPower(power float64) int {
+	k := (power-float64(r.Cover.NumElems+1))/r.Alpha - 1
+	return int(k + 0.5)
+}
+
+func (r SetCoverPower) String() string {
+	return fmt.Sprintf("SetCoverPower{n=%d sets=%d α=%v}", r.Cover.NumElems, len(r.Cover.Sets), r.Alpha)
+}

@@ -1,0 +1,182 @@
+package reduction
+
+import "repro/internal/sched"
+
+// ThreeUnit is the Theorem 8 construction: an equivalent 3-unit
+// gap-scheduling instance (every job has at most three allowed times,
+// each a single unit) built from an arbitrary multi-interval instance.
+//
+// A job j with allowed times t_1 < … < t_k (k > 3) receives an extra
+// interval of length 2k−1 whose odd positions (1-indexed) are pinned by
+// k dummy jobs. The even positions 2, 4, …, 2k−2 are shared by k
+// replacement jobs:
+//
+//	ĵ_i (1 ≤ i ≤ k−2): allowed at {t_i, pos 2i, pos 2i+2}
+//	ĵ_{k−1}:           allowed at {t_{k−1}, pos 2k−2}
+//	ĵ_k:               allowed at {t_k, pos 2, pos 4}
+//
+// Any k−1 of the replacements can fill the k−1 even positions (the
+// proof's rotation: excluding ĵ_q with q < k sends ĵ_i to pos 2i+2 for
+// i < q, ĵ_k to pos 2, defaults elsewhere), so exactly one replacement
+// escapes to its original time: OPT₃ = OPT + 1 as the extra block forms
+// one extra span.
+type ThreeUnit struct {
+	Original sched.MultiInstance
+	Reduced  sched.MultiInstance
+	// Replacement[j][i] is the reduced index of ĵ_{i+1} for original job
+	// j, ordered as the sorted allowed times (nil when copied verbatim).
+	Replacement [][]int
+	// TimeOf[j][i] is t_{i+1}, job j's i-th allowed time.
+	TimeOf [][]int
+	// CopyOf[j] is the reduced index of original job j when it was
+	// copied verbatim (−1 otherwise).
+	CopyOf []int
+	// ExtraOf[j] is job j's extra interval (zero-length when copied).
+	ExtraOf []sched.Interval
+	// Block is the union of all extra intervals.
+	Block sched.Interval
+}
+
+// ToThreeUnit builds the Theorem 8 reduction. Original jobs with at most
+// three allowed times are first exploded into their unit times and
+// copied; jobs with more receive the gadget.
+func ToThreeUnit(mi sched.MultiInstance) ThreeUnit {
+	r := ThreeUnit{
+		Original:    mi,
+		Replacement: make([][]int, mi.N()),
+		TimeOf:      make([][]int, mi.N()),
+		CopyOf:      make([]int, mi.N()),
+		ExtraOf:     make([]sched.Interval, mi.N()),
+	}
+	cursor := 0
+	if ts := mi.AllTimes(); len(ts) > 0 {
+		cursor = ts[len(ts)-1] + 2
+	}
+	blockStart := cursor
+	var jobs []sched.MultiJob
+	for j, job := range mi.Jobs {
+		r.CopyOf[j] = -1
+		times := job.Times()
+		r.TimeOf[j] = times
+		if len(times) <= 3 {
+			r.CopyOf[j] = len(jobs)
+			jobs = append(jobs, sched.MultiJobFromTimes(times...))
+			continue
+		}
+		k := len(times)
+		extra := sched.Interval{Lo: cursor, Hi: cursor + 2*k - 2}
+		r.ExtraOf[j] = extra
+		cursor = extra.Hi + 1
+		pos := func(oneIndexed int) int { return extra.Lo + oneIndexed - 1 }
+		for d := 0; d < k; d++ { // dummies at odd 1-indexed positions
+			jobs = append(jobs, sched.MultiJobFromTimes(pos(2*d+1)))
+		}
+		r.Replacement[j] = make([]int, k)
+		for i := 1; i <= k; i++ {
+			r.Replacement[j][i-1] = len(jobs)
+			switch {
+			case i <= k-2:
+				jobs = append(jobs, sched.MultiJobFromTimes(times[i-1], pos(2*i), pos(2*i+2)))
+			case i == k-1:
+				jobs = append(jobs, sched.MultiJobFromTimes(times[i-1], pos(2*k-2)))
+			default: // i == k
+				jobs = append(jobs, sched.MultiJobFromTimes(times[i-1], pos(2), pos(4)))
+			}
+		}
+	}
+	r.Block = sched.Interval{Lo: blockStart, Hi: cursor - 1}
+	r.Reduced = sched.MultiInstance{Jobs: jobs}
+	return r
+}
+
+// FromOriginal lifts a schedule of the original instance to the reduced
+// instance with every extra interval completely busy, using the proof's
+// rotation.
+func (r ThreeUnit) FromOriginal(ms sched.MultiSchedule) (sched.MultiSchedule, bool) {
+	if err := ms.Validate(r.Original); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	out := sched.MultiSchedule{Times: make([]int, r.Reduced.N())}
+	for j, job := range r.Original.Jobs {
+		if c := r.CopyOf[j]; c >= 0 {
+			out.Times[c] = ms.Times[j]
+			continue
+		}
+		times := r.TimeOf[j]
+		k := len(times)
+		extra := r.ExtraOf[j]
+		pos := func(oneIndexed int) int { return extra.Lo + oneIndexed - 1 }
+		firstDummy := r.Replacement[j][0] - k
+		for d := 0; d < k; d++ {
+			out.Times[firstDummy+d] = pos(2*d + 1)
+		}
+		q := -1 // which replacement escapes
+		for i, t := range times {
+			if t == ms.Times[j] {
+				q = i + 1 // 1-indexed
+				break
+			}
+		}
+		if q < 0 {
+			return sched.MultiSchedule{}, false
+		}
+		out.Times[r.Replacement[j][q-1]] = ms.Times[j]
+		if q == k {
+			// Defaults: ĵ_i → pos 2i for i = 1..k−1.
+			for i := 1; i <= k-1; i++ {
+				out.Times[r.Replacement[j][i-1]] = pos(2 * i)
+			}
+		} else {
+			// Rotation: ĵ_i → pos 2i+2 for i < q; ĵ_i → pos 2i for
+			// q < i ≤ k−1; ĵ_k → pos 2.
+			for i := 1; i < q; i++ {
+				out.Times[r.Replacement[j][i-1]] = pos(2*i + 2)
+			}
+			for i := q + 1; i <= k-1; i++ {
+				out.Times[r.Replacement[j][i-1]] = pos(2 * i)
+			}
+			out.Times[r.Replacement[j][k-1]] = pos(2)
+		}
+		_ = job
+	}
+	if err := out.Validate(r.Reduced); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+// PullBack converts a reduced schedule whose extra intervals are all
+// completely busy into an original schedule by reading off escaped
+// replacements. (Optimal reduced schedules can always be normalized into
+// this form; the normalization is part of the proof, and exact solvers
+// reach such optima — asserted in tests.)
+func (r ThreeUnit) PullBack(ms sched.MultiSchedule) (sched.MultiSchedule, bool) {
+	if len(ms.Times) != r.Reduced.N() {
+		return sched.MultiSchedule{}, false
+	}
+	out := sched.MultiSchedule{Times: make([]int, r.Original.N())}
+	for j := range r.Original.Jobs {
+		if c := r.CopyOf[j]; c >= 0 {
+			out.Times[j] = ms.Times[c]
+			continue
+		}
+		extra := r.ExtraOf[j]
+		found := false
+		for _, rep := range r.Replacement[j] {
+			if !extra.Contains(ms.Times[rep]) {
+				if found {
+					return sched.MultiSchedule{}, false
+				}
+				out.Times[j] = ms.Times[rep]
+				found = true
+			}
+		}
+		if !found {
+			return sched.MultiSchedule{}, false
+		}
+	}
+	if err := out.Validate(r.Original); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}

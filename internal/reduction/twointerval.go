@@ -1,0 +1,218 @@
+package reduction
+
+import (
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// TwoInterval is the Theorem 7 construction: an equivalent 2-interval
+// gap-scheduling instance built from an arbitrary multi-interval one.
+//
+// Every job j with more than two intervals receives an "extra interval"
+// of length 2k−1 (k = its interval count), placed after the original
+// timeline with all extra intervals back to back. k dummy jobs pin the
+// odd positions of the extra interval; k selector jobs r_1..r_k may run
+// either in the original interval I_i or anywhere in the extra interval.
+// In an optimal solution the extra block is completely busy, exactly one
+// selector escapes to its original interval per job, and the whole block
+// forms one additional span: OPT₂ = OPT + 1.
+type TwoInterval struct {
+	Original sched.MultiInstance
+	Reduced  sched.MultiInstance
+	// Selector[j][i] is the Reduced job index of r_{i+1} for original
+	// job j (nil when job j was copied verbatim).
+	Selector [][]int
+	// CopyOf[j] is the Reduced index of original job j when copied
+	// verbatim (−1 otherwise).
+	CopyOf []int
+	// ExtraOf[j] is job j's extra interval (zero-length when copied).
+	ExtraOf []sched.Interval
+	// Block is the union of all extra intervals.
+	Block sched.Interval
+}
+
+// ToTwoInterval builds the Theorem 7 reduction.
+func ToTwoInterval(mi sched.MultiInstance) TwoInterval {
+	r := TwoInterval{
+		Original: mi,
+		Selector: make([][]int, mi.N()),
+		CopyOf:   make([]int, mi.N()),
+		ExtraOf:  make([]sched.Interval, mi.N()),
+	}
+	// Place the extra block after the original timeline with one idle
+	// unit of separation (it forms its own span).
+	cursor := 0
+	if ts := mi.AllTimes(); len(ts) > 0 {
+		cursor = ts[len(ts)-1] + 2
+	}
+	blockStart := cursor
+	var jobs []sched.MultiJob
+	for j, job := range mi.Jobs {
+		r.CopyOf[j] = -1
+		if len(job.Intervals) <= 2 {
+			r.CopyOf[j] = len(jobs)
+			jobs = append(jobs, job)
+			continue
+		}
+		k := len(job.Intervals)
+		extra := sched.Interval{Lo: cursor, Hi: cursor + 2*k - 2}
+		r.ExtraOf[j] = extra
+		cursor = extra.Hi + 1
+		// Dummies pin positions 1, 3, …, 2k−1 (1-indexed): offsets 0, 2, ….
+		for d := 0; d < k; d++ {
+			jobs = append(jobs, sched.NewMultiJob(sched.Interval{Lo: extra.Lo + 2*d, Hi: extra.Lo + 2*d}))
+		}
+		// Selectors r_i: original interval I_i or the whole extra interval.
+		r.Selector[j] = make([]int, k)
+		for i, iv := range job.Intervals {
+			r.Selector[j][i] = len(jobs)
+			jobs = append(jobs, sched.NewMultiJob(iv, extra))
+		}
+	}
+	r.Block = sched.Interval{Lo: blockStart, Hi: cursor - 1}
+	r.Reduced = sched.MultiInstance{Jobs: jobs}
+	return r
+}
+
+// PullBack converts a schedule of the reduced instance into a schedule
+// of the original one. It first normalizes the schedule so that every
+// extra interval is completely busy (the paper's iterative filling
+// argument), then reads off, per transformed job, the unique selector
+// executing outside the extra block. Returns false only on malformed
+// input.
+func (r TwoInterval) PullBack(ms sched.MultiSchedule) (sched.MultiSchedule, bool) {
+	if len(ms.Times) != r.Reduced.N() {
+		return sched.MultiSchedule{}, false
+	}
+	norm := append([]int{}, ms.Times...)
+	r.normalize(norm)
+	out := sched.MultiSchedule{Times: make([]int, r.Original.N())}
+	for j := range r.Original.Jobs {
+		if c := r.CopyOf[j]; c >= 0 {
+			out.Times[j] = norm[c]
+			continue
+		}
+		found := false
+		for _, sel := range r.Selector[j] {
+			if !r.ExtraOf[j].Contains(norm[sel]) {
+				if found {
+					return sched.MultiSchedule{}, false // two escaped selectors
+				}
+				out.Times[j] = norm[sel]
+				found = true
+			}
+		}
+		if !found {
+			return sched.MultiSchedule{}, false
+		}
+	}
+	if err := out.Validate(r.Original); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+// normalize moves selectors into free extra-interval units until every
+// extra interval is full, as in the proof: a free unit in an extra
+// interval always admits some selector of that job, and moving it there
+// never increases the span count.
+func (r TwoInterval) normalize(times []int) {
+	occupied := make(map[int]int, len(times))
+	for i, t := range times {
+		occupied[t] = i
+	}
+	for j := range r.Original.Jobs {
+		extra := r.ExtraOf[j]
+		if r.CopyOf[j] >= 0 {
+			continue
+		}
+		for {
+			free := -1
+			for t := extra.Lo; t <= extra.Hi; t++ {
+				if _, busy := occupied[t]; !busy {
+					free = t
+					break
+				}
+			}
+			if free < 0 {
+				break
+			}
+			// Exactly the selectors of job j may run at free (dummies are
+			// pinned); at least two currently run outside the extra
+			// interval, move one in.
+			moved := false
+			for _, sel := range r.Selector[j] {
+				if !extra.Contains(times[sel]) && r.Reduced.Jobs[sel].Contains(free) {
+					delete(occupied, times[sel])
+					times[sel] = free
+					occupied[free] = sel
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				break // already exactly one escaped selector; unit truly free
+			}
+		}
+	}
+}
+
+// FromOriginal converts a schedule of the original instance into one of
+// the reduced instance with the extra block fully busy: the selector of
+// the interval containing the original time escapes, the others fill the
+// even offsets by the rotation of the proof.
+func (r TwoInterval) FromOriginal(ms sched.MultiSchedule) (sched.MultiSchedule, bool) {
+	if err := ms.Validate(r.Original); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	out := sched.MultiSchedule{Times: make([]int, r.Reduced.N())}
+	// Dummies are forced; fill them first by scanning all reduced jobs
+	// with a single unit-time choice inside an extra interval.
+	for j, job := range r.Original.Jobs {
+		if c := r.CopyOf[j]; c >= 0 {
+			out.Times[c] = ms.Times[j]
+			continue
+		}
+		extra := r.ExtraOf[j]
+		k := len(job.Intervals)
+		// Dummy jobs immediately precede the selectors in construction
+		// order: reduced indices Selector[j][0]−k … Selector[j][0]−1.
+		firstDummy := r.Selector[j][0] - k
+		for d := 0; d < k; d++ {
+			out.Times[firstDummy+d] = extra.Lo + 2*d
+		}
+		// The selector whose interval contains the original time escapes;
+		// the remaining k−1 selectors take the k−1 odd offsets in order.
+		escape := -1
+		for i, iv := range job.Intervals {
+			if iv.Contains(ms.Times[j]) {
+				escape = i
+				break
+			}
+		}
+		if escape < 0 {
+			return sched.MultiSchedule{}, false
+		}
+		out.Times[r.Selector[j][escape]] = ms.Times[j]
+		odd := extra.Lo + 1
+		for i := range job.Intervals {
+			if i == escape {
+				continue
+			}
+			out.Times[r.Selector[j][i]] = odd
+			odd += 2
+		}
+	}
+	if err := out.Validate(r.Reduced); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+// sortedCopy is a test helper.
+func sortedCopy(xs []int) []int {
+	out := append([]int{}, xs...)
+	sort.Ints(out)
+	return out
+}

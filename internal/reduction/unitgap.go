@@ -1,0 +1,315 @@
+package reduction
+
+import (
+	"sort"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+)
+
+// CompressGaps remaps the times of a multi-interval instance so that
+// every maximal stretch of times containing no job interval (a gap′ in
+// the paper's §5.3 terminology) shrinks to exactly one unit. No job can
+// ever run inside a gap′, so the remapping changes no optimum; it is the
+// preprocessing both Theorem 9 directions assume.
+func CompressGaps(mi sched.MultiInstance) (sched.MultiInstance, map[int]int) {
+	times := mi.AllTimes()
+	remap := make(map[int]int, len(times))
+	cur := 0
+	for i, t := range times {
+		if i > 0 {
+			if t == times[i-1]+1 {
+				cur++
+			} else {
+				cur += 2 // one unit of gap′, however long the stretch was
+			}
+		}
+		remap[t] = cur
+	}
+	jobs := make([]sched.MultiJob, mi.N())
+	for j, job := range mi.Jobs {
+		var ts []int
+		for _, t := range job.Times() {
+			ts = append(ts, remap[t])
+		}
+		jobs[j] = sched.MultiJobFromTimes(ts...)
+	}
+	return sched.MultiInstance{Jobs: jobs}, remap
+}
+
+// UnitEquivalence is the Theorem 9 construction relating two-unit gap
+// scheduling (each job has at most two allowed unit times) and
+// disjoint-unit gap scheduling (jobs' allowed sets are pairwise
+// disjoint). Schedules of one instance correspond to schedules of the
+// other with the busy/idle state of every time unit reversed, so the
+// optimal gap counts differ by at most one.
+type UnitEquivalence struct {
+	From sched.MultiInstance // the source instance (already compressed)
+	To   sched.MultiInstance // the constructed instance
+	// Components lists, for each constructed non-pinned job of To, the
+	// source job indices and allowed times of its originating component
+	// (TwoUnitToDisjoint) or the source job's times (DisjointToTwoUnit
+	// groups chain jobs per source job instead).
+	Components []Component
+	// Pinned lists the gap′ unit jobs appended at the end of To.Jobs.
+	Pinned []int
+}
+
+// Component records one connected component of the job/time bipartite
+// graph of a two-unit instance.
+type Component struct {
+	Jobs  []int
+	Times []int
+	// Slack is true when |Times| = |Jobs|+1 (one time always idle).
+	Slack bool
+	// ToJob is the index in the constructed instance (−1 for saturated
+	// components, which generate no job).
+	ToJob int
+}
+
+// TwoUnitToDisjoint builds the first direction of Theorem 9. The input
+// must be feasible, with every job having at most two allowed times; the
+// instance is compressed first. For every connected component H(X′, Y′)
+// of the job/time graph, |Y′| − |X′| ∈ {0, 1}: saturated components keep
+// all their times busy in every schedule and produce nothing; slack
+// components leave exactly one time idle and produce one job allowed
+// exactly on Y′; every gap′ unit produces a pinned job.
+func TwoUnitToDisjoint(mi sched.MultiInstance) (UnitEquivalence, bool) {
+	for _, j := range mi.Jobs {
+		if j.NumTimes() > 2 {
+			return UnitEquivalence{}, false
+		}
+	}
+	compressed, _ := CompressGaps(mi)
+	if !feas.FeasibleMulti(compressed) {
+		return UnitEquivalence{}, false
+	}
+	eq := UnitEquivalence{From: compressed}
+
+	// Union-find over times; jobs connect their (≤2) times.
+	times := compressed.AllTimes()
+	index := make(map[int]int, len(times))
+	for i, t := range times {
+		index[t] = i
+	}
+	parent := make([]int, len(times))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, job := range compressed.Jobs {
+		ts := job.Times()
+		for i := 1; i < len(ts); i++ {
+			union(index[ts[0]], index[ts[i]])
+		}
+	}
+	compTimes := make(map[int][]int)
+	for i, t := range times {
+		r := find(i)
+		compTimes[r] = append(compTimes[r], t)
+	}
+	compJobs := make(map[int][]int)
+	for j, job := range compressed.Jobs {
+		r := find(index[job.Times()[0]])
+		compJobs[r] = append(compJobs[r], j)
+	}
+
+	var roots []int
+	for r := range compTimes {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	var jobs []sched.MultiJob
+	for _, r := range roots {
+		c := Component{Jobs: compJobs[r], Times: compTimes[r], ToJob: -1}
+		switch len(c.Times) - len(c.Jobs) {
+		case 0:
+			// saturated: no job in the constructed instance
+		case 1:
+			c.Slack = true
+			c.ToJob = len(jobs)
+			jobs = append(jobs, sched.MultiJobFromTimes(c.Times...))
+		default:
+			return UnitEquivalence{}, false // infeasible or disconnected oddity
+		}
+		eq.Components = append(eq.Components, c)
+	}
+	// gap′ units: after compression, every absent unit between the first
+	// and last allowed time is a single-unit gap′ and gets a pinned job.
+	for i := 1; i < len(times); i++ {
+		for t := times[i-1] + 1; t < times[i]; t++ {
+			eq.Pinned = append(eq.Pinned, len(jobs))
+			jobs = append(jobs, sched.MultiJobFromTimes(t))
+		}
+	}
+	eq.To = sched.MultiInstance{Jobs: jobs}
+	return eq, true
+}
+
+// OldFromNew maps a schedule of the constructed disjoint-unit instance
+// back to the two-unit instance: within each slack component the
+// constructed job's time is exactly the unit the two-unit schedule
+// leaves idle, and a matching on the remaining times schedules the
+// component's jobs; saturated components use any perfect matching.
+func (eq UnitEquivalence) OldFromNew(ms sched.MultiSchedule) (sched.MultiSchedule, bool) {
+	if len(ms.Times) != eq.To.N() {
+		return sched.MultiSchedule{}, false
+	}
+	out := sched.MultiSchedule{Times: make([]int, eq.From.N())}
+	for _, c := range eq.Components {
+		exclude := -1
+		if c.Slack {
+			exclude = ms.Times[c.ToJob]
+			if !contains(c.Times, exclude) {
+				return sched.MultiSchedule{}, false
+			}
+		}
+		if !matchComponent(eq.From, c, exclude, out.Times) {
+			return sched.MultiSchedule{}, false
+		}
+	}
+	if err := out.Validate(eq.From); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+// NewFromOld maps a schedule of the two-unit instance to the constructed
+// instance: each slack component's job runs at the unit the schedule
+// left idle; pinned jobs are forced.
+func (eq UnitEquivalence) NewFromOld(ms sched.MultiSchedule) (sched.MultiSchedule, bool) {
+	if err := ms.Validate(eq.From); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	busy := make(map[int]bool, len(ms.Times))
+	for _, t := range ms.Times {
+		busy[t] = true
+	}
+	out := sched.MultiSchedule{Times: make([]int, eq.To.N())}
+	for _, c := range eq.Components {
+		if !c.Slack {
+			continue
+		}
+		idle := -1
+		for _, t := range c.Times {
+			if !busy[t] {
+				if idle >= 0 {
+					return sched.MultiSchedule{}, false
+				}
+				idle = t
+			}
+		}
+		if idle < 0 {
+			return sched.MultiSchedule{}, false
+		}
+		out.Times[c.ToJob] = idle
+	}
+	for _, p := range eq.Pinned {
+		out.Times[p] = eq.To.Jobs[p].Times()[0]
+	}
+	if err := out.Validate(eq.To); err != nil {
+		return sched.MultiSchedule{}, false
+	}
+	return out, true
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// matchComponent schedules the component's jobs on its times minus the
+// excluded one via maximum matching, writing into out.
+func matchComponent(mi sched.MultiInstance, c Component, exclude int, out []int) bool {
+	var slots []int
+	for _, t := range c.Times {
+		if t != exclude {
+			slots = append(slots, t)
+		}
+	}
+	index := make(map[int]int, len(slots))
+	for i, t := range slots {
+		index[t] = i
+	}
+	g := feas.NewBipartite(len(c.Jobs), len(slots))
+	for u, j := range c.Jobs {
+		for _, t := range mi.Jobs[j].Times() {
+			if v, ok := index[t]; ok {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	m := feas.MaxMatching(g)
+	if m.Size != len(c.Jobs) {
+		return false
+	}
+	for u, j := range c.Jobs {
+		out[j] = slots[m.MatchL[u]]
+	}
+	return true
+}
+
+// DisjointToTwoUnit builds the second direction of Theorem 9: every
+// disjoint-unit job with times t_1 < … < t_k becomes a chain of k−1
+// two-unit jobs {t_m, t_{m+1}}; the unit the chain leaves idle is the
+// source job's execution time. Single-time jobs stay pinned; gap′ units
+// get pinned jobs. Returns false when the allowed sets are not pairwise
+// disjoint.
+func DisjointToTwoUnit(mi sched.MultiInstance) (UnitEquivalence, bool) {
+	seen := make(map[int]bool)
+	for _, j := range mi.Jobs {
+		for _, t := range j.Times() {
+			if seen[t] {
+				return UnitEquivalence{}, false
+			}
+			seen[t] = true
+		}
+	}
+	compressed, _ := CompressGaps(mi)
+	eq := UnitEquivalence{From: compressed}
+	var jobs []sched.MultiJob
+	for j, job := range compressed.Jobs {
+		ts := job.Times()
+		c := Component{Jobs: []int{j}, Times: ts, Slack: true, ToJob: -1}
+		if len(ts) == 1 {
+			// A pinned source job stays pinned: its unit is always busy,
+			// the chain is empty. Representing it as a saturated
+			// pseudo-component keeps the correspondence exact.
+			c.Slack = false
+			eq.Components = append(eq.Components, c)
+			// The constructed instance must keep this unit busy in the
+			// reversed sense: in the reversal the source job's time is
+			// chosen, i.e. always ts[0]; a chain of zero jobs leaves the
+			// unit idle, matching a pinned busy unit on the source side.
+			continue
+		}
+		first := len(jobs)
+		for m := 0; m+1 < len(ts); m++ {
+			jobs = append(jobs, sched.MultiJobFromTimes(ts[m], ts[m+1]))
+		}
+		c.ToJob = first // first chain job; chain length = len(ts)−1
+		eq.Components = append(eq.Components, c)
+	}
+	all := compressed.AllTimes()
+	for i := 1; i < len(all); i++ {
+		for t := all[i-1] + 1; t < all[i]; t++ {
+			eq.Pinned = append(eq.Pinned, len(jobs))
+			jobs = append(jobs, sched.MultiJobFromTimes(t))
+		}
+	}
+	eq.To = sched.MultiInstance{Jobs: jobs}
+	return eq, true
+}

@@ -1,0 +1,132 @@
+// Package restart implements §6: the minimum-restart (bounded-gap
+// throughput) problem. Given multi-interval unit jobs and a budget of k
+// spans ("days" in the consultant story — each span is one consecutive
+// working stretch, each new span a restart), schedule as many jobs as
+// possible.
+//
+// Theorem 11's greedy picks, k times, the largest time interval that can
+// be completely filled with still-unscheduled jobs (checked by maximum
+// matching), and proves an O(√n) approximation factor. The experiment
+// harness measures true ratios against the exact oracle.
+package restart
+
+import (
+	"errors"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+)
+
+// Result describes a greedy throughput run.
+type Result struct {
+	// Scheduled maps job index → execution time for the chosen jobs.
+	Scheduled map[int]int
+	// Intervals lists the working intervals in choice order.
+	Intervals []sched.Interval
+	// Spans is the span count of the produced schedule (≤ the budget;
+	// it can be smaller when chosen intervals touch).
+	Spans int
+}
+
+// Jobs returns the number of scheduled jobs.
+func (r Result) Jobs() int { return len(r.Scheduled) }
+
+// Greedy runs the Theorem 11 algorithm with a budget of maxSpans
+// working intervals.
+func Greedy(mi sched.MultiInstance, maxSpans int) (Result, error) {
+	if err := mi.Validate(); err != nil {
+		return Result{}, err
+	}
+	if maxSpans < 0 {
+		return Result{}, errors.New("restart: negative span budget")
+	}
+	scheduled := make(map[int]int)
+	busy := make(map[int]bool)
+	var chosen []sched.Interval
+
+	for step := 0; step < maxSpans; step++ {
+		iv, fill := largestFillable(mi, scheduled, busy)
+		if !iv.Valid() {
+			break
+		}
+		for job, t := range fill {
+			scheduled[job] = t
+			busy[t] = true
+		}
+		chosen = append(chosen, iv)
+	}
+
+	var ts []int
+	for _, t := range scheduled {
+		ts = append(ts, t)
+	}
+	return Result{Scheduled: scheduled, Intervals: chosen, Spans: sched.SpansOfTimes(ts)}, nil
+}
+
+// largestFillable finds the largest interval [a, b] of currently idle
+// times such that b−a+1 unscheduled jobs can fill it completely, and the
+// filling assignment. Candidate endpoints range over the instance's
+// allowed times. Returns an invalid interval when none exists.
+func largestFillable(mi sched.MultiInstance, scheduled map[int]int, busy map[int]bool) (sched.Interval, map[int]int) {
+	all := mi.AllTimes()
+	if len(all) == 0 {
+		return sched.Interval{Lo: 1, Hi: 0}, nil
+	}
+	var free []int
+	for _, t := range all {
+		if !busy[t] {
+			free = append(free, t)
+		}
+	}
+	var unsch []int
+	for j := range mi.Jobs {
+		if _, done := scheduled[j]; !done {
+			unsch = append(unsch, j)
+		}
+	}
+	maxLen := len(unsch)
+	for length := maxLen; length >= 1; length-- {
+		for _, a := range free {
+			b := a + length - 1
+			if fill := tryFill(mi, unsch, busy, a, b); fill != nil {
+				return sched.Interval{Lo: a, Hi: b}, fill
+			}
+		}
+	}
+	return sched.Interval{Lo: 1, Hi: 0}, nil
+}
+
+// tryFill attempts to fill every time of [a, b] with distinct
+// unscheduled jobs; nil if impossible.
+func tryFill(mi sched.MultiInstance, unsch []int, busy map[int]bool, a, b int) map[int]int {
+	width := b - a + 1
+	if width > len(unsch) {
+		return nil
+	}
+	for t := a; t <= b; t++ {
+		if busy[t] {
+			return nil
+		}
+	}
+	g := feas.NewBipartite(len(unsch), width)
+	for u, j := range unsch {
+		for _, t := range mi.Jobs[j].Times() {
+			if a <= t && t <= b {
+				g.AddEdge(u, t-a)
+			}
+		}
+	}
+	m := feas.MaxMatching(g)
+	if m.Size != width {
+		return nil
+	}
+	fill := make(map[int]int, width)
+	for v := 0; v < width; v++ {
+		u := m.MatchR[v]
+		if u < 0 {
+			return nil
+		}
+		fill[unsch[u]] = a + v
+	}
+	return fill
+}

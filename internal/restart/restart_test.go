@@ -1,0 +1,135 @@
+package restart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 80; trial++ {
+		mi := workload.MultiInterval(rng, 2+rng.Intn(8), 1+rng.Intn(3), 1+rng.Intn(2), 14)
+		budget := 1 + rng.Intn(4)
+		res, err := Greedy(mi, budget)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Spans > budget {
+			t.Fatalf("trial %d: %d spans exceed budget %d", trial, res.Spans, budget)
+		}
+		if len(res.Intervals) > budget {
+			t.Fatalf("trial %d: %d intervals exceed budget %d", trial, len(res.Intervals), budget)
+		}
+		// Scheduled assignments are valid and distinct.
+		seen := map[int]bool{}
+		for job, tm := range res.Scheduled {
+			if !mi.Jobs[job].Contains(tm) {
+				t.Fatalf("trial %d: job %d at illegal time %d", trial, job, tm)
+			}
+			if seen[tm] {
+				t.Fatalf("trial %d: duplicate time %d", trial, tm)
+			}
+			seen[tm] = true
+		}
+	}
+}
+
+func TestGreedyFillsChosenIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		mi := workload.MultiInterval(rng, 3+rng.Intn(6), 2, 2, 12)
+		res, err := Greedy(mi, 3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		busy := map[int]bool{}
+		for _, tm := range res.Scheduled {
+			busy[tm] = true
+		}
+		for _, iv := range res.Intervals {
+			for tm := iv.Lo; tm <= iv.Hi; tm++ {
+				if !busy[tm] {
+					t.Fatalf("trial %d: chosen interval %v has idle unit %d", trial, iv, tm)
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyWithinSqrtN asserts the Theorem 11 guarantee with its proof
+// constant: greedy ≥ OPT / (2√n + 1).
+func TestGreedyWithinSqrtN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		mi := workload.MultiInterval(rng, n, 1+rng.Intn(3), 1+rng.Intn(2), 12)
+		budget := 1 + rng.Intn(3)
+		res, err := Greedy(mi, budget)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt := exact.MaxThroughput(mi, budget)
+		if res.Jobs() > opt {
+			t.Fatalf("trial %d: greedy %d beats exact %d — oracle bug", trial, res.Jobs(), opt)
+		}
+		bound := float64(opt) / (2*math.Sqrt(float64(n)) + 1)
+		if float64(res.Jobs()) < bound-1e-9 {
+			t.Fatalf("trial %d: greedy %d below O(√n) bound %v of opt %d (n=%d budget %d, jobs %v)",
+				trial, res.Jobs(), bound, opt, n, budget, mi.Jobs)
+		}
+	}
+}
+
+func TestGreedyZeroBudget(t *testing.T) {
+	mi := sched.MultiInstance{Jobs: []sched.MultiJob{sched.MultiJobFromTimes(0)}}
+	res, err := Greedy(mi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs() != 0 {
+		t.Fatalf("zero budget scheduled %d jobs", res.Jobs())
+	}
+	if _, err := Greedy(mi, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestGreedyPrefersLargestInterval(t *testing.T) {
+	// Three jobs forming a length-3 block and one isolated job: with
+	// budget 1 the greedy must take the block.
+	mi := sched.MultiInstance{Jobs: []sched.MultiJob{
+		sched.MultiJobFromTimes(0),
+		sched.MultiJobFromTimes(1),
+		sched.MultiJobFromTimes(2),
+		sched.MultiJobFromTimes(10),
+	}}
+	res, err := Greedy(mi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs() != 3 {
+		t.Fatalf("greedy scheduled %d jobs, want the 3-block", res.Jobs())
+	}
+}
+
+func TestMaxThroughputOracle(t *testing.T) {
+	mi := sched.MultiInstance{Jobs: []sched.MultiJob{
+		sched.MultiJobFromTimes(0),
+		sched.MultiJobFromTimes(1),
+		sched.MultiJobFromTimes(5),
+	}}
+	if got := exact.MaxThroughput(mi, 1); got != 2 {
+		t.Fatalf("one span: %d jobs, want 2", got)
+	}
+	if got := exact.MaxThroughput(mi, 2); got != 3 {
+		t.Fatalf("two spans: %d jobs, want 3", got)
+	}
+	if got := exact.MaxThroughput(mi, 0); got != 0 {
+		t.Fatalf("zero spans: %d jobs, want 0", got)
+	}
+}

@@ -1,0 +1,156 @@
+package sched
+
+import "sort"
+
+// SpansOfTimes returns the number of maximal runs of consecutive integers
+// in ts (which need not be sorted; duplicates are ignored).
+func SpansOfTimes(ts []int) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), ts...)
+	sort.Ints(sorted)
+	spans := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			continue
+		}
+		if sorted[i] != sorted[i-1]+1 {
+			spans++
+		}
+	}
+	return spans
+}
+
+// GapLengths returns the lengths of the finite maximal idle intervals
+// between consecutive busy times in ts.
+func GapLengths(ts []int) []int {
+	if len(ts) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ts...)
+	sort.Ints(sorted)
+	var gaps []int
+	for i := 1; i < len(sorted); i++ {
+		if d := sorted[i] - sorted[i-1]; d > 1 {
+			gaps = append(gaps, d-1)
+		}
+	}
+	return gaps
+}
+
+// Spans returns the total number of spans (maximal busy intervals,
+// equivalently sleep→active transitions) of the schedule, summed over
+// processors. This is the primitive minimization objective (DESIGN.md §1).
+func (s Schedule) Spans() int {
+	total := 0
+	for _, ts := range s.BusyTimes() {
+		total += SpansOfTimes(ts)
+	}
+	return total
+}
+
+// Gaps returns the number of finite idle intervals of the schedule in the
+// concatenated-timeline convention: spans − 1 (0 for an empty schedule).
+// On a single processor this is the classic gap count of Baptiste.
+func (s Schedule) Gaps() int {
+	sp := s.Spans()
+	if sp == 0 {
+		return 0
+	}
+	return sp - 1
+}
+
+// SpansOfProfile computes Σ_u (l_u − l_{u−1})_+ for a staircase occupancy
+// profile given as a time→level map: the total number of per-processor
+// spans of the staircase arrangement.
+func SpansOfProfile(profile map[int]int) int {
+	if len(profile) == 0 {
+		return 0
+	}
+	times := make([]int, 0, len(profile))
+	for t := range profile {
+		if profile[t] > 0 {
+			times = append(times, t)
+		}
+	}
+	sort.Ints(times)
+	spans, prev, prevT := 0, 0, 0
+	for i, t := range times {
+		l := profile[t]
+		if i == 0 || t != prevT+1 {
+			prev = 0
+		}
+		if l > prev {
+			spans += l - prev
+		}
+		prev, prevT = l, t
+	}
+	return spans
+}
+
+// PowerCost returns the minimum power consumption of the schedule under
+// transition cost alpha, when each processor may optionally remain active
+// through a gap: activeUnits + α·transitions with each finite gap of
+// length ℓ contributing min(ℓ, α). Processors begin asleep (the first
+// wake-up on each used processor costs α) and the final return to sleep
+// is free.
+func (s Schedule) PowerCost(alpha float64) float64 {
+	total := 0.0
+	for _, ts := range s.BusyTimes() {
+		if len(ts) == 0 {
+			continue
+		}
+		total += float64(distinct(ts)) + alpha // busy units + initial wake
+		for _, g := range GapLengths(ts) {
+			total += minF(float64(g), alpha)
+		}
+	}
+	return total
+}
+
+// PowerCostSleepOnly returns the power consumption when the machine must
+// sleep during every gap (no bridging): n + α·spans.
+func (s Schedule) PowerCostSleepOnly(alpha float64) float64 {
+	busy := 0
+	for _, ts := range s.BusyTimes() {
+		busy += distinct(ts)
+	}
+	return float64(busy) + alpha*float64(s.Spans())
+}
+
+func distinct(sortedTs []int) int {
+	n := 0
+	for i, t := range sortedTs {
+		if i == 0 || t != sortedTs[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Staircase rearranges the schedule so that at every time the occupied
+// processors form a prefix P_0..P_{l−1} (Lemma 1 normal form). Job order
+// within a time unit follows slot index. The returned schedule executes
+// the same jobs at the same times.
+func (s Schedule) Staircase() Schedule {
+	out := s.Clone()
+	byTime := make(map[int][]int)
+	for i, a := range s.Slots {
+		byTime[a.Time] = append(byTime[a.Time], i)
+	}
+	for t, jobs := range byTime {
+		sort.Ints(jobs)
+		for q, i := range jobs {
+			out.Slots[i] = Assignment{Proc: q, Time: t}
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripOneInterval(t *testing.T) {
+	f := File{
+		Kind:     KindOneInterval,
+		Alpha:    2.5,
+		Instance: &Instance{Jobs: []Job{{0, 3}, {2, 5}}, Procs: 2},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Alpha != 2.5 || got.Instance == nil || got.Instance.Procs != 2 || len(got.Instance.Jobs) != 2 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+}
+
+func TestJSONRoundTripMulti(t *testing.T) {
+	f := File{
+		Kind:  KindMultiInterval,
+		Multi: &MultiInstance{Jobs: []MultiJob{MultiJobFromTimes(1, 5, 9)}},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Multi == nil || got.Multi.N() != 1 {
+		t.Fatalf("round trip mangled: %+v", got)
+	}
+}
+
+func TestJSONRejects(t *testing.T) {
+	cases := []string{
+		`{"kind":"nonsense"}`,
+		`{"kind":"one-interval"}`,   // missing instance
+		`{"kind":"multi-interval"}`, // missing multi
+		`{"kind":"one-interval","instance":{"jobs":[{"release":2,"deadline":1}],"procs":1}}`, // bad window
+		`{"kind":"one-interval","alpha":-1,"instance":{"jobs":[],"procs":1}}`,                // negative alpha
+		`{"kind":"one-interval","bogus":1,"instance":{"jobs":[],"procs":1}}`,                 // unknown field
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %s", c)
+		}
+	}
+}

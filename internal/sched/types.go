@@ -1,0 +1,177 @@
+// Package sched defines the core problem types shared by every algorithm
+// in this repository: unit jobs with one-interval windows or explicit
+// multi-interval time sets, single- and multi-processor instances, and
+// schedules with span/gap/power accounting.
+//
+// Conventions (see DESIGN.md §1):
+//   - Time is integral. A unit job scheduled at time t occupies exactly
+//     the time unit t.
+//   - The primitive objective is the number of spans (maximal busy
+//     intervals), equivalently sleep→active transitions. On a single
+//     machine, gaps = spans − 1.
+//   - Power consumption with transition cost α is
+//     activeUnits + α·(number of sleep→active transitions),
+//     where the machine may stay active through a gap (bridging a gap of
+//     length ℓ costs min(ℓ, α)).
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is a unit-length task with a one-interval execution window.
+// It may be executed at any integer time t with Release ≤ t ≤ Deadline.
+type Job struct {
+	Release  int `json:"release"`
+	Deadline int `json:"deadline"`
+}
+
+// Valid reports whether the job's window is non-empty.
+func (j Job) Valid() bool { return j.Release <= j.Deadline }
+
+// Window returns the number of integer times at which the job may run.
+func (j Job) Window() int { return j.Deadline - j.Release + 1 }
+
+// Contains reports whether the job may execute at time t.
+func (j Job) Contains(t int) bool { return j.Release <= t && t <= j.Deadline }
+
+func (j Job) String() string { return fmt.Sprintf("[%d,%d]", j.Release, j.Deadline) }
+
+// Instance is a one-interval scheduling instance on p identical
+// processors. Every job must be assigned a unique (processor, time) pair
+// inside its window; each processor executes at most one job per time.
+type Instance struct {
+	Jobs  []Job `json:"jobs"`
+	Procs int   `json:"procs"`
+}
+
+// NewInstance builds a single-processor instance from jobs.
+func NewInstance(jobs []Job) Instance { return Instance{Jobs: jobs, Procs: 1} }
+
+// NewMultiprocInstance builds a p-processor instance from jobs.
+func NewMultiprocInstance(jobs []Job, p int) Instance { return Instance{Jobs: jobs, Procs: p} }
+
+// N returns the number of jobs.
+func (in Instance) N() int { return len(in.Jobs) }
+
+// Validate checks structural sanity: at least one processor and
+// non-empty windows for every job.
+func (in Instance) Validate() error {
+	if in.Procs < 1 {
+		return fmt.Errorf("sched: instance has %d processors, need ≥ 1", in.Procs)
+	}
+	for i, j := range in.Jobs {
+		if !j.Valid() {
+			return fmt.Errorf("sched: job %d has empty window [%d,%d]", i, j.Release, j.Deadline)
+		}
+	}
+	return nil
+}
+
+// TimeHorizon returns the smallest release and largest deadline.
+// For an empty instance it returns (0, -1).
+func (in Instance) TimeHorizon() (lo, hi int) {
+	if len(in.Jobs) == 0 {
+		return 0, -1
+	}
+	lo, hi = in.Jobs[0].Release, in.Jobs[0].Deadline
+	for _, j := range in.Jobs[1:] {
+		if j.Release < lo {
+			lo = j.Release
+		}
+		if j.Deadline > hi {
+			hi = j.Deadline
+		}
+	}
+	return lo, hi
+}
+
+// SortedByDeadline returns job indices sorted by (deadline, release,
+// index). All dynamic programs in this repository use this order.
+func (in Instance) SortedByDeadline() []int {
+	idx := make([]int, len(in.Jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := in.Jobs[idx[x]], in.Jobs[idx[y]]
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		if a.Release != b.Release {
+			return a.Release < b.Release
+		}
+		return idx[x] < idx[y]
+	})
+	return idx
+}
+
+// Assignment places one job: processor Proc (0-based) at time Time.
+type Assignment struct {
+	Proc int `json:"proc"`
+	Time int `json:"time"`
+}
+
+// Schedule assigns every job of an instance to a (processor, time) pair.
+// Entry i corresponds to job i of the originating instance.
+type Schedule struct {
+	Procs int          `json:"procs"`
+	Slots []Assignment `json:"slots"`
+}
+
+// Clone returns a deep copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := Schedule{Procs: s.Procs, Slots: make([]Assignment, len(s.Slots))}
+	copy(out.Slots, s.Slots)
+	return out
+}
+
+// Validate checks the schedule against the instance: one assignment per
+// job, times within windows, processors in range, no two jobs sharing a
+// (processor, time) slot.
+func (s Schedule) Validate(in Instance) error {
+	if len(s.Slots) != len(in.Jobs) {
+		return fmt.Errorf("sched: schedule has %d slots for %d jobs", len(s.Slots), len(in.Jobs))
+	}
+	if s.Procs != in.Procs {
+		return fmt.Errorf("sched: schedule has %d procs, instance has %d", s.Procs, in.Procs)
+	}
+	used := make(map[Assignment]int, len(s.Slots))
+	for i, a := range s.Slots {
+		if a.Proc < 0 || a.Proc >= s.Procs {
+			return fmt.Errorf("sched: job %d on processor %d out of range [0,%d)", i, a.Proc, s.Procs)
+		}
+		if !in.Jobs[i].Contains(a.Time) {
+			return fmt.Errorf("sched: job %d at time %d outside window %v", i, a.Time, in.Jobs[i])
+		}
+		if prev, dup := used[a]; dup {
+			return fmt.Errorf("sched: jobs %d and %d share slot (proc %d, time %d)", prev, i, a.Proc, a.Time)
+		}
+		used[a] = i
+	}
+	return nil
+}
+
+// Profile returns the occupancy profile of the schedule: a map from time
+// to the number of jobs executing at that time (across all processors).
+func (s Schedule) Profile() map[int]int {
+	prof := make(map[int]int)
+	for _, a := range s.Slots {
+		prof[a.Time]++
+	}
+	return prof
+}
+
+// BusyTimes returns the sorted distinct times at which at least one job
+// runs, per processor: result[q] lists processor q's busy times.
+func (s Schedule) BusyTimes() [][]int {
+	per := make([][]int, s.Procs)
+	for _, a := range s.Slots {
+		per[a.Proc] = append(per[a.Proc], a.Time)
+	}
+	for q := range per {
+		sort.Ints(per[q])
+	}
+	return per
+}

@@ -1,0 +1,240 @@
+// Package setcover implements the set-cover substrate used by the
+// paper's hardness reductions (§4–§5): the classic greedy ln(n)
+// approximation, an exact branch-and-bound solver for small instances,
+// and generators for random (and B-bounded) coverable instances.
+package setcover
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Instance is a set-cover instance: cover every element of
+// {0..NumElems−1} using as few of the given sets as possible.
+type Instance struct {
+	NumElems int
+	Sets     [][]int
+}
+
+// Validate checks element ranges and non-empty sets.
+func (in Instance) Validate() error {
+	if in.NumElems < 0 {
+		return fmt.Errorf("setcover: negative universe size %d", in.NumElems)
+	}
+	for i, s := range in.Sets {
+		if len(s) == 0 {
+			return fmt.Errorf("setcover: set %d is empty", i)
+		}
+		for _, e := range s {
+			if e < 0 || e >= in.NumElems {
+				return fmt.Errorf("setcover: set %d contains out-of-range element %d", i, e)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxSetSize returns the largest set cardinality (the B of B-set cover).
+func (in Instance) MaxSetSize() int {
+	b := 0
+	for _, s := range in.Sets {
+		if len(s) > b {
+			b = len(s)
+		}
+	}
+	return b
+}
+
+// Coverable reports whether the union of the sets is the whole universe.
+func (in Instance) Coverable() bool {
+	seen := make([]bool, in.NumElems)
+	cnt := 0
+	for _, s := range in.Sets {
+		for _, e := range s {
+			if !seen[e] {
+				seen[e] = true
+				cnt++
+			}
+		}
+	}
+	return cnt == in.NumElems
+}
+
+// IsCover reports whether the chosen set indices cover the universe.
+func (in Instance) IsCover(chosen []int) bool {
+	seen := make([]bool, in.NumElems)
+	cnt := 0
+	for _, i := range chosen {
+		if i < 0 || i >= len(in.Sets) {
+			return false
+		}
+		for _, e := range in.Sets[i] {
+			if !seen[e] {
+				seen[e] = true
+				cnt++
+			}
+		}
+	}
+	return cnt == in.NumElems
+}
+
+// Greedy returns the classic greedy cover (repeatedly take the set
+// covering the most uncovered elements), an H_n ≈ ln n approximation.
+// Returns nil when the instance is not coverable.
+func Greedy(in Instance) []int {
+	if !in.Coverable() {
+		return nil
+	}
+	covered := make([]bool, in.NumElems)
+	remaining := in.NumElems
+	var chosen []int
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i, s := range in.Sets {
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		chosen = append(chosen, best)
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// MaxExactSets bounds the collection size accepted by Exact.
+const MaxExactSets = 22
+
+// Exact computes a minimum cover by branch and bound, or nil when not
+// coverable. It panics beyond MaxExactSets sets.
+func Exact(in Instance) []int {
+	if len(in.Sets) > MaxExactSets {
+		panic("setcover: collection too large for exact solver")
+	}
+	if !in.Coverable() {
+		return nil
+	}
+	best := Greedy(in)
+	covered := make([]int, in.NumElems) // coverage multiplicity
+	remaining := in.NumElems
+	var cur []int
+
+	// elementSets[e] lists sets containing e, for the branching rule:
+	// branch on the first uncovered element.
+	elementSets := make([][]int, in.NumElems)
+	for i, s := range in.Sets {
+		for _, e := range s {
+			elementSets[e] = append(elementSets[e], i)
+		}
+	}
+
+	var rec func()
+	rec = func() {
+		if len(cur) >= len(best) {
+			return
+		}
+		if remaining == 0 {
+			best = append([]int{}, cur...)
+			return
+		}
+		e := 0
+		for covered[e] > 0 {
+			e++
+		}
+		for _, i := range elementSets[e] {
+			cur = append(cur, i)
+			for _, x := range in.Sets[i] {
+				if covered[x] == 0 {
+					remaining--
+				}
+				covered[x]++
+			}
+			rec()
+			for _, x := range in.Sets[i] {
+				covered[x]--
+				if covered[x] == 0 {
+					remaining++
+				}
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	sort.Ints(best)
+	return best
+}
+
+// Random draws a coverable instance: nSets sets of size ≤ maxSize, with
+// a final pass adding each uncovered element to a random set.
+func Random(rng *rand.Rand, nElems, nSets, maxSize int) Instance {
+	if maxSize > nElems {
+		maxSize = nElems
+	}
+	in := Instance{NumElems: nElems, Sets: make([][]int, nSets)}
+	for i := range in.Sets {
+		size := 1 + rng.Intn(maxSize)
+		seen := make(map[int]bool)
+		for len(in.Sets[i]) < size {
+			e := rng.Intn(nElems)
+			if !seen[e] {
+				seen[e] = true
+				in.Sets[i] = append(in.Sets[i], e)
+			}
+		}
+		sort.Ints(in.Sets[i])
+	}
+	// Ensure coverage.
+	covered := make([]bool, nElems)
+	for _, s := range in.Sets {
+		for _, e := range s {
+			covered[e] = true
+		}
+	}
+	for e, c := range covered {
+		if !c {
+			i := rng.Intn(nSets)
+			in.Sets[i] = append(in.Sets[i], e)
+			sort.Ints(in.Sets[i])
+		}
+	}
+	return in
+}
+
+// RandomB draws a coverable B-set-cover instance (every set of size
+// exactly ≤ B; the coverage pass respects the bound by extending small
+// sets or adding singletons).
+func RandomB(rng *rand.Rand, nElems, nSets, b int) Instance {
+	in := Random(rng, nElems, nSets, b)
+	for i := range in.Sets {
+		if len(in.Sets[i]) > b {
+			in.Sets[i] = in.Sets[i][:b]
+		}
+	}
+	covered := make([]bool, nElems)
+	for _, s := range in.Sets {
+		for _, e := range s {
+			covered[e] = true
+		}
+	}
+	for e, c := range covered {
+		if !c {
+			in.Sets = append(in.Sets, []int{e})
+		}
+	}
+	return in
+}

@@ -1,0 +1,83 @@
+package setcover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyAndExactBasics(t *testing.T) {
+	in := Instance{NumElems: 4, Sets: [][]int{{0, 1}, {2, 3}, {0, 1, 2, 3}}}
+	if g := Greedy(in); !in.IsCover(g) {
+		t.Fatalf("greedy not a cover: %v", g)
+	}
+	if e := Exact(in); len(e) != 1 {
+		t.Fatalf("exact %v, want the single big set", e)
+	}
+}
+
+func TestExactDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 80, Rand: rng}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := Random(r, 2+r.Intn(7), 2+r.Intn(6), 1+r.Intn(4))
+		g, e := Greedy(in), Exact(in)
+		if g == nil || e == nil {
+			return false
+		}
+		return in.IsCover(g) && in.IsCover(e) && len(e) <= len(g)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncoverable(t *testing.T) {
+	in := Instance{NumElems: 3, Sets: [][]int{{0, 1}}}
+	if in.Coverable() {
+		t.Fatal("uncoverable reported coverable")
+	}
+	if Greedy(in) != nil || Exact(in) != nil {
+		t.Fatal("solvers should return nil on uncoverable input")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Instance{NumElems: 2, Sets: [][]int{{0, 5}}}).Validate(); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+	if err := (Instance{NumElems: 2, Sets: [][]int{{}}}).Validate(); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if err := (Instance{NumElems: 2, Sets: [][]int{{0}, {1}}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBRespectsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		b := 1 + rng.Intn(4)
+		in := RandomB(rng, 3+rng.Intn(8), 2+rng.Intn(5), b)
+		if !in.Coverable() {
+			t.Fatal("RandomB produced uncoverable instance")
+		}
+		if in.MaxSetSize() > b {
+			t.Fatalf("set size %d exceeds B=%d", in.MaxSetSize(), b)
+		}
+	}
+}
+
+func TestIsCoverRejects(t *testing.T) {
+	in := Instance{NumElems: 3, Sets: [][]int{{0}, {1}, {2}}}
+	if in.IsCover([]int{0, 1}) {
+		t.Fatal("partial cover accepted")
+	}
+	if in.IsCover([]int{0, 1, 7}) {
+		t.Fatal("out-of-range index accepted")
+	}
+	if !in.IsCover([]int{0, 1, 2}) {
+		t.Fatal("full cover rejected")
+	}
+}

@@ -1,0 +1,279 @@
+// Package setpacking implements maximum set packing: given a collection
+// of sets over a base universe, find a maximum subcollection of pairwise
+// disjoint sets. It provides the greedy maximal packing, the bounded
+// local-search improvement in the style of Hurkens–Schrijver [HS89]
+// (replace s chosen sets by s+1 disjoint candidates), and an exact
+// branch-and-bound solver for small collections.
+//
+// The (k+1)-set-packing instances built by the Theorem 3 approximation
+// (internal/multiinterval) are solved with this package; [HS89] shows
+// local search with unbounded exchange size approaches a 2/(k+1)·OPT
+// guarantee for (k+1)-set packing, and the experiment harness measures
+// how close small exchange depths get in practice.
+package setpacking
+
+import (
+	"sort"
+)
+
+// Instance is a set-packing instance over the universe {0..Universe−1}.
+type Instance struct {
+	Universe int
+	Sets     [][]int // element ids; duplicates within a set are ignored
+}
+
+const wordBits = 64
+
+// bitset is a fixed-size bitmask over the universe.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+wordBits-1)/wordBits) }
+
+func (b bitset) set(i int) { b[i/wordBits] |= 1 << uint(i%wordBits) }
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) orInto(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) clone() bitset {
+	out := make(bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// masks precomputes a bitmask per set.
+func (in Instance) masks() []bitset {
+	ms := make([]bitset, len(in.Sets))
+	for i, s := range in.Sets {
+		m := newBitset(in.Universe)
+		for _, e := range s {
+			m.set(e)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// Greedy returns a maximal packing (indices into Sets), preferring
+// smaller sets first (they block fewer elements), ties by index.
+func Greedy(in Instance) []int {
+	order := make([]int, len(in.Sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := order[a], order[b]
+		if len(in.Sets[x]) != len(in.Sets[y]) {
+			return len(in.Sets[x]) < len(in.Sets[y])
+		}
+		return x < y
+	})
+	ms := in.masks()
+	used := newBitset(in.Universe)
+	var chosen []int
+	for _, i := range order {
+		if !ms[i].intersects(used) {
+			chosen = append(chosen, i)
+			used.orInto(ms[i])
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// LocalSearch improves a packing by bounded exchanges: repeatedly
+// replace s chosen sets (s ≤ depth) with s+1 pairwise-disjoint candidate
+// sets compatible with the rest, until no such improvement exists.
+// depth 0 or negative defaults to 1. The result is always maximal.
+func LocalSearch(in Instance, depth int) []int {
+	if depth <= 0 {
+		depth = 1
+	}
+	ms := in.masks()
+	chosen := Greedy(in)
+	for {
+		improved := false
+		// Try to add a set outright (maximality may have been broken by a
+		// previous exchange).
+		used := newBitset(in.Universe)
+		inPacking := make([]bool, len(in.Sets))
+		for _, i := range chosen {
+			used.orInto(ms[i])
+			inPacking[i] = true
+		}
+		for i := range in.Sets {
+			if !inPacking[i] && !ms[i].intersects(used) {
+				chosen = append(chosen, i)
+				used.orInto(ms[i])
+				inPacking[i] = true
+				improved = true
+			}
+		}
+		if improved {
+			continue
+		}
+		if depth >= 1 && exchange1(in, ms, &chosen) {
+			continue
+		}
+		if depth >= 2 && exchange2(in, ms, &chosen) {
+			continue
+		}
+		break
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// exchange1 removes one chosen set and inserts two disjoint candidates.
+func exchange1(in Instance, ms []bitset, chosen *[]int) bool {
+	for ci, removed := range *chosen {
+		kept := newBitset(in.Universe)
+		for cj, s := range *chosen {
+			if cj != ci {
+				kept.orInto(ms[s])
+			}
+		}
+		// Candidates disjoint from kept sets. Since the packing is
+		// maximal, any improvement must touch the removed set, but we
+		// keep the filter simple and correct.
+		var cands []int
+		for i := range in.Sets {
+			if i != removed && !ms[i].intersects(kept) {
+				cands = append(cands, i)
+			}
+		}
+		for ai := 0; ai < len(cands); ai++ {
+			for bi := ai + 1; bi < len(cands); bi++ {
+				a, b := cands[ai], cands[bi]
+				if !ms[a].intersects(ms[b]) {
+					out := append([]int{}, (*chosen)[:ci]...)
+					out = append(out, (*chosen)[ci+1:]...)
+					out = append(out, a, b)
+					*chosen = out
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// exchange2 removes two chosen sets and inserts three disjoint
+// candidates.
+func exchange2(in Instance, ms []bitset, chosen *[]int) bool {
+	n := len(*chosen)
+	for ci := 0; ci < n; ci++ {
+		for cj := ci + 1; cj < n; cj++ {
+			kept := newBitset(in.Universe)
+			for ck, s := range *chosen {
+				if ck != ci && ck != cj {
+					kept.orInto(ms[s])
+				}
+			}
+			var cands []int
+			for i := range in.Sets {
+				if i != (*chosen)[ci] && i != (*chosen)[cj] && !ms[i].intersects(kept) {
+					cands = append(cands, i)
+				}
+			}
+			if len(cands) < 3 {
+				continue
+			}
+			for ai := 0; ai < len(cands); ai++ {
+				for bi := ai + 1; bi < len(cands); bi++ {
+					a, b := cands[ai], cands[bi]
+					if ms[a].intersects(ms[b]) {
+						continue
+					}
+					ab := ms[a].clone()
+					ab.orInto(ms[b])
+					for di := bi + 1; di < len(cands); di++ {
+						d := cands[di]
+						if ms[d].intersects(ab) {
+							continue
+						}
+						out := []int{}
+						for ck, s := range *chosen {
+							if ck != ci && ck != cj {
+								out = append(out, s)
+							}
+						}
+						out = append(out, a, b, d)
+						*chosen = out
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// MaxExactSets bounds the collection size accepted by Exact.
+const MaxExactSets = 24
+
+// Exact computes a maximum packing by branch and bound. It panics when
+// the collection exceeds MaxExactSets.
+func Exact(in Instance) []int {
+	if len(in.Sets) > MaxExactSets {
+		panic("setpacking: collection too large for exact solver")
+	}
+	ms := in.masks()
+	var best []int
+	var cur []int
+	used := newBitset(in.Universe)
+
+	var rec func(i int)
+	rec = func(i int) {
+		if len(cur)+(len(in.Sets)-i) <= len(best) {
+			return // even taking everything remaining cannot win
+		}
+		if i == len(in.Sets) {
+			if len(cur) > len(best) {
+				best = append([]int{}, cur...)
+			}
+			return
+		}
+		if !ms[i].intersects(used) {
+			used.orInto(ms[i])
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			// Undo: recompute is wasteful; XOR out instead.
+			for w := range used {
+				used[w] &^= ms[i][w]
+			}
+		}
+		rec(i + 1)
+	}
+	rec(0)
+	sort.Ints(best)
+	return best
+}
+
+// IsPacking validates that the chosen indices form a pairwise-disjoint
+// subcollection.
+func IsPacking(in Instance, chosen []int) bool {
+	ms := in.masks()
+	used := newBitset(in.Universe)
+	for _, i := range chosen {
+		if i < 0 || i >= len(in.Sets) {
+			return false
+		}
+		if ms[i].intersects(used) {
+			return false
+		}
+		used.orInto(ms[i])
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package setpacking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomInstance(rng *rand.Rand, universe, nSets, setSize int) Instance {
+	in := Instance{Universe: universe}
+	for i := 0; i < nSets; i++ {
+		seen := map[int]bool{}
+		var s []int
+		for len(s) < setSize {
+			e := rng.Intn(universe)
+			if !seen[e] {
+				seen[e] = true
+				s = append(s, e)
+			}
+		}
+		in.Sets = append(in.Sets, s)
+	}
+	return in
+}
+
+func TestGreedyIsPacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 6+rng.Intn(20), 1+rng.Intn(15), 2+rng.Intn(3))
+		if !IsPacking(in, Greedy(in)) {
+			t.Fatalf("trial %d: greedy result is not a packing", trial)
+		}
+	}
+}
+
+func TestGreedyIsMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 6+rng.Intn(20), 1+rng.Intn(15), 2+rng.Intn(3))
+		chosen := Greedy(in)
+		used := map[int]bool{}
+		inPack := map[int]bool{}
+		for _, i := range chosen {
+			inPack[i] = true
+			for _, e := range in.Sets[i] {
+				used[e] = true
+			}
+		}
+		for i, s := range in.Sets {
+			if inPack[i] {
+				continue
+			}
+			free := true
+			for _, e := range s {
+				if used[e] {
+					free = false
+					break
+				}
+			}
+			if free {
+				t.Fatalf("trial %d: set %d could be added to greedy packing", trial, i)
+			}
+		}
+	}
+}
+
+func TestLocalSearchAtLeastGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		in := randomInstance(rng, 6+rng.Intn(16), 1+rng.Intn(14), 3)
+		g := Greedy(in)
+		for _, depth := range []int{1, 2} {
+			ls := LocalSearch(in, depth)
+			if !IsPacking(in, ls) {
+				t.Fatalf("trial %d depth %d: not a packing", trial, depth)
+			}
+			if len(ls) < len(g) {
+				t.Fatalf("trial %d depth %d: local search %d < greedy %d", trial, depth, len(ls), len(g))
+			}
+		}
+	}
+}
+
+func TestExactOptimal(t *testing.T) {
+	in := Instance{Universe: 6, Sets: [][]int{
+		{0, 1, 2}, // blocks the next two
+		{0, 3}, {1, 4}, {2, 5},
+	}}
+	if got := Exact(in); len(got) != 3 {
+		t.Fatalf("exact packing size %d, want 3 (%v)", len(got), got)
+	}
+}
+
+// TestLocalSearchVsExact measures the Hurkens–Schrijver-style guarantee:
+// for 3-element sets, depth-2 local search must reach at least half the
+// optimum (the proven asymptotic bound is 2/(k+1) = 1/2 for k+1 = 3... 4;
+// empirically it is nearly always optimal).
+func TestLocalSearchVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 8+rng.Intn(10), 4+rng.Intn(10), 3)
+		opt := len(Exact(in))
+		ls := len(LocalSearch(in, 2))
+		if 2*ls < opt {
+			t.Fatalf("trial %d: local search %d below half of optimum %d", trial, ls, opt)
+		}
+	}
+}
+
+func TestExactIsPackingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 5+r.Intn(10), 1+r.Intn(10), 2+r.Intn(2))
+		ex := Exact(in)
+		if !IsPacking(in, ex) {
+			return false
+		}
+		// Exact dominates both heuristics.
+		return len(ex) >= len(Greedy(in)) && len(ex) >= len(LocalSearch(in, 2))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPackingRejects(t *testing.T) {
+	in := Instance{Universe: 3, Sets: [][]int{{0, 1}, {1, 2}}}
+	if IsPacking(in, []int{0, 1}) {
+		t.Fatal("overlapping sets accepted")
+	}
+	if IsPacking(in, []int{0, 5}) {
+		t.Fatal("out-of-range index accepted")
+	}
+	if !IsPacking(in, []int{1}) {
+		t.Fatal("singleton rejected")
+	}
+}

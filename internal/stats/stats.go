@@ -1,0 +1,123 @@
+// Package stats provides the small numeric summaries and plain-text table
+// rendering used by the experiment harness and benchmarks.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90       float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  quantile(sorted, 0.5),
+		P90:  quantile(sorted, 0.9),
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ratio returns a/b, treating 0/0 as 1 (both algorithms found the same
+// trivial optimum) and x/0 for x>0 as +Inf.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Table renders aligned rows under a header to w. Cells are Sprint-ed
+// with %v; floats are shown with 4 significant digits.
+type Table struct {
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column names.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; cells may be any printable values.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	underline := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		underline[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+}
+
+// Markdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.P90 != 4.6 {
+		t.Fatalf("p90 = %v, want 4.6", s.P90)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary: %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P90 != 7 || one.Mean != 7 {
+		t.Fatalf("singleton summary: %+v", one)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("6/3")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Fatal("0/0 should be 1")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("1/0 should be +Inf")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("spans", 3)
+	tb.AddRow("ratio", 1.23456)
+	if tb.Len() != 2 {
+		t.Fatal("row count")
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"name", "value", "spans", "1.235"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	var md bytes.Buffer
+	tb.Markdown(&md)
+	if !strings.Contains(md.String(), "| spans | 3 |") {
+		t.Fatalf("markdown wrong:\n%s", md.String())
+	}
+}

@@ -1,0 +1,177 @@
+// Package workload generates deterministic (seeded) problem instances for
+// tests, examples and the experiment harness: random one-interval and
+// multiprocessor instances, bursty and periodic patterns motivated by the
+// paper's power-management applications, random multi-interval instances,
+// and the adversarial online lower-bound family of §1.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+)
+
+// OneInterval draws n jobs with releases uniform in [0, horizon) and
+// window lengths uniform in [1, maxWindow].
+func OneInterval(rng *rand.Rand, n, horizon, maxWindow int) sched.Instance {
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		a := rng.Intn(horizon)
+		w := 1 + rng.Intn(maxWindow)
+		jobs[i] = sched.Job{Release: a, Deadline: a + w - 1}
+	}
+	return sched.NewInstance(jobs)
+}
+
+// Multiproc draws a p-processor one-interval instance.
+func Multiproc(rng *rand.Rand, n, p, horizon, maxWindow int) sched.Instance {
+	in := OneInterval(rng, n, horizon, maxWindow)
+	in.Procs = p
+	return in
+}
+
+// FeasibleOneInterval repeatedly draws instances until one is feasible,
+// widening windows after repeated failures so termination is guaranteed.
+func FeasibleOneInterval(rng *rand.Rand, n, p, horizon, maxWindow int) sched.Instance {
+	for attempt := 0; ; attempt++ {
+		in := Multiproc(rng, n, p, horizon, maxWindow+attempt/4)
+		if feas.FeasibleOneInterval(in) {
+			return in
+		}
+	}
+}
+
+// Bursty draws jobs clustered into the given number of bursts: a model of
+// the event-driven device workloads (sensors, phones) in the paper's
+// introduction. Each burst occupies a narrow window of the horizon.
+func Bursty(rng *rand.Rand, n, bursts, horizon, burstSpread, maxWindow int) sched.Instance {
+	if bursts < 1 {
+		bursts = 1
+	}
+	centers := make([]int, bursts)
+	for b := range centers {
+		centers[b] = rng.Intn(horizon)
+	}
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		c := centers[rng.Intn(bursts)]
+		a := c + rng.Intn(burstSpread+1)
+		w := 1 + rng.Intn(maxWindow)
+		jobs[i] = sched.Job{Release: a, Deadline: a + w - 1}
+	}
+	return sched.NewInstance(jobs)
+}
+
+// Periodic draws jobs released every period units with jitter, each with
+// slack extra time units before its deadline: a duty-cycling sensor
+// workload.
+func Periodic(rng *rand.Rand, n, period, jitter, slack int) sched.Instance {
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		a := i*period + rng.Intn(jitter+1)
+		jobs[i] = sched.Job{Release: a, Deadline: a + slack}
+	}
+	return sched.NewInstance(jobs)
+}
+
+// MultiInterval draws n multi-interval jobs, each with k intervals of
+// length ivLen placed uniformly in [0, horizon).
+func MultiInterval(rng *rand.Rand, n, k, ivLen, horizon int) sched.MultiInstance {
+	jobs := make([]sched.MultiJob, n)
+	for i := range jobs {
+		ivs := make([]sched.Interval, k)
+		for q := range ivs {
+			lo := rng.Intn(horizon)
+			ivs[q] = sched.Interval{Lo: lo, Hi: lo + ivLen - 1}
+		}
+		jobs[i] = sched.NewMultiJob(ivs...)
+	}
+	return sched.MultiInstance{Jobs: jobs}
+}
+
+// FeasibleMultiInterval repeatedly draws multi-interval instances until
+// one is feasible, stretching the horizon after repeated failures.
+func FeasibleMultiInterval(rng *rand.Rand, n, k, ivLen, horizon int) sched.MultiInstance {
+	for attempt := 0; ; attempt++ {
+		mi := MultiInterval(rng, n, k, ivLen, horizon+attempt)
+		if feas.FeasibleMulti(mi) {
+			return mi
+		}
+	}
+}
+
+// UnitMulti draws n jobs, each allowed at exactly k distinct unit times
+// in [0, horizon): the x-unit gap scheduling setting of §5.2–§5.3.
+func UnitMulti(rng *rand.Rand, n, k, horizon int) sched.MultiInstance {
+	jobs := make([]sched.MultiJob, n)
+	for i := range jobs {
+		seen := make(map[int]bool, k)
+		var ts []int
+		for len(ts) < k && len(ts) < horizon {
+			t := rng.Intn(horizon)
+			if !seen[t] {
+				seen[t] = true
+				ts = append(ts, t)
+			}
+		}
+		jobs[i] = sched.MultiJobFromTimes(ts...)
+	}
+	return sched.MultiInstance{Jobs: jobs}
+}
+
+// FeasibleUnitMulti repeatedly draws unit-multi instances until feasible.
+func FeasibleUnitMulti(rng *rand.Rand, n, k, horizon int) sched.MultiInstance {
+	for attempt := 0; ; attempt++ {
+		mi := UnitMulti(rng, n, k, horizon+attempt)
+		if feas.FeasibleMulti(mi) {
+			return mi
+		}
+	}
+}
+
+// DisjointUnit draws n jobs with pairwise-disjoint allowed-time sets of
+// size k each (the disjoint-interval setting of §5.3). Times are
+// allocated from a shuffled pool, so the instance is always feasible.
+func DisjointUnit(rng *rand.Rand, n, k int) sched.MultiInstance {
+	pool := rng.Perm(n * k * 2)
+	jobs := make([]sched.MultiJob, n)
+	next := 0
+	for i := range jobs {
+		ts := make([]int, k)
+		for q := range ts {
+			ts[q] = pool[next]
+			next++
+		}
+		jobs[i] = sched.MultiJobFromTimes(ts...)
+	}
+	return sched.MultiInstance{Jobs: jobs}
+}
+
+// OnlineLowerBound builds the §1 adversarial family for one-interval gap
+// scheduling: n flexible jobs released at time 0 with deadline 3n, plus n
+// tight jobs released at n, n+2, n+4, ... each with a one-unit-later
+// deadline. The offline optimum interleaves the flexible jobs into the
+// idle units between tight jobs (O(1) gaps); any eager online algorithm
+// runs the flexible jobs immediately and pays Ω(n) gaps.
+func OnlineLowerBound(n int) sched.Instance {
+	jobs := make([]sched.Job, 0, 2*n)
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, sched.Job{Release: 0, Deadline: 3 * n})
+	}
+	for i := 0; i < n; i++ {
+		a := n + 2*i
+		jobs = append(jobs, sched.Job{Release: a, Deadline: a + 1})
+	}
+	return sched.NewInstance(jobs)
+}
+
+// TightChain builds n back-to-back unit jobs: job i exactly at time i.
+// One span, no choice; useful as a degenerate test case.
+func TightChain(n int) sched.Instance {
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		jobs[i] = sched.Job{Release: i, Deadline: i}
+	}
+	return sched.NewInstance(jobs)
+}

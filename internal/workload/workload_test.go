@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/feas"
+)
+
+func TestGeneratorsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		if err := OneInterval(rng, 8, 10, 4).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := Multiproc(rng, 8, 3, 10, 4).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := Bursty(rng, 8, 2, 20, 3, 4).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := Periodic(rng, 6, 5, 2, 3).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := MultiInterval(rng, 6, 2, 2, 12).Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := UnitMulti(rng, 6, 2, 12).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFeasibleGeneratorsAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		in := FeasibleOneInterval(rng, 6, 2, 10, 3)
+		if !feas.FeasibleOneInterval(in) {
+			t.Fatal("FeasibleOneInterval returned infeasible instance")
+		}
+		mi := FeasibleMultiInterval(rng, 6, 2, 2, 12)
+		if !feas.FeasibleMulti(mi) {
+			t.Fatal("FeasibleMultiInterval returned infeasible instance")
+		}
+		um := FeasibleUnitMulti(rng, 5, 2, 10)
+		if !feas.FeasibleMulti(um) {
+			t.Fatal("FeasibleUnitMulti returned infeasible instance")
+		}
+	}
+}
+
+func TestDisjointUnitIsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mi := DisjointUnit(rng, 6, 3)
+	seen := map[int]bool{}
+	for _, j := range mi.Jobs {
+		for _, tm := range j.Times() {
+			if seen[tm] {
+				t.Fatal("overlapping allowed sets")
+			}
+			seen[tm] = true
+		}
+	}
+	if !feas.FeasibleMulti(mi) {
+		t.Fatal("disjoint instance must be feasible")
+	}
+}
+
+func TestOnlineLowerBoundShape(t *testing.T) {
+	in := OnlineLowerBound(4)
+	if len(in.Jobs) != 8 {
+		t.Fatalf("jobs %d, want 8", len(in.Jobs))
+	}
+	for i := 0; i < 4; i++ {
+		if in.Jobs[i].Release != 0 || in.Jobs[i].Deadline != 12 {
+			t.Fatalf("flexible job %d wrong: %v", i, in.Jobs[i])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		j := in.Jobs[4+i]
+		if j.Release != 4+2*i || j.Deadline != j.Release+1 {
+			t.Fatalf("tight job %d wrong: %v", i, j)
+		}
+	}
+	if !feas.FeasibleOneInterval(in) {
+		t.Fatal("lower-bound family must be feasible")
+	}
+}
+
+func TestTightChain(t *testing.T) {
+	in := TightChain(5)
+	if len(in.Jobs) != 5 {
+		t.Fatal("wrong size")
+	}
+	for i, j := range in.Jobs {
+		if j.Release != i || j.Deadline != i {
+			t.Fatalf("job %d: %v", i, j)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := OneInterval(rand.New(rand.NewSource(42)), 10, 20, 5)
+	b := OneInterval(rand.New(rand.NewSource(42)), 10, 20, 5)
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+}
