@@ -1,13 +1,16 @@
 package gapsched
 
-// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E12),
+// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E16),
 // one benchmark per table/figure. Run with:
 //
 //	go test -bench=. -benchmem
 //
-// The human-readable tables behind EXPERIMENTS.md come from
-// cmd/gapbench; these benchmarks measure the cost of the same code
-// paths on pinned workloads so regressions are visible.
+// The human-readable tables come from cmd/gapbench; these benchmarks
+// measure the cost of the same code paths on pinned workloads so
+// regressions are visible. Exact-solver benchmarks additionally report
+// a states/op metric — the number of memoized DP subproblems — so
+// engine-level wins (memo layout, preprocessing) show up separately
+// from raw nanoseconds.
 
 import (
 	"fmt"
@@ -35,11 +38,15 @@ func BenchmarkE1_MultiprocExact(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	in := workload.FeasibleOneInterval(rng, 8, 2, 12, 4)
 	b.Run("dp", func(b *testing.B) {
+		states := 0
 		for i := 0; i < b.N; i++ {
-			if _, err := core.SolveGaps(in); err != nil {
+			res, err := core.SolveGaps(in)
+			if err != nil {
 				b.Fatal(err)
 			}
+			states += res.States
 		}
+		b.ReportMetric(float64(states)/float64(b.N), "states/op")
 	})
 	b.Run("oracle", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -57,11 +64,15 @@ func BenchmarkE2_ScaleN(b *testing.B) {
 		rng := rand.New(rand.NewSource(2))
 		in := workload.FeasibleOneInterval(rng, n, 2, 2*n, 6)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			states := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolveGaps(in); err != nil {
+				res, err := core.SolveGaps(in)
+				if err != nil {
 					b.Fatal(err)
 				}
+				states += res.States
 			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 		})
 	}
 }
@@ -71,11 +82,15 @@ func BenchmarkE2_ScaleP(b *testing.B) {
 		rng := rand.New(rand.NewSource(3))
 		in := workload.FeasibleOneInterval(rng, 12, p, 20, 6)
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			states := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolveGaps(in); err != nil {
+				res, err := core.SolveGaps(in)
+				if err != nil {
 					b.Fatal(err)
 				}
+				states += res.States
 			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 		})
 	}
 }
@@ -86,11 +101,15 @@ func BenchmarkE3_PowerExact(b *testing.B) {
 	in := workload.FeasibleOneInterval(rng, 8, 2, 12, 4)
 	for _, alpha := range []float64{0.5, 2, 8} {
 		b.Run(fmt.Sprintf("alpha=%v", alpha), func(b *testing.B) {
+			states := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolvePower(in, alpha); err != nil {
+				res, err := core.SolvePower(in, alpha)
+				if err != nil {
 					b.Fatal(err)
 				}
+				states += res.States
 			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 		})
 	}
 }
@@ -260,11 +279,15 @@ func BenchmarkE12_SingleProc(b *testing.B) {
 		rng := rand.New(rand.NewSource(12))
 		in := workload.FeasibleOneInterval(rng, n, 1, 3*n, 6)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			states := 0
 			for i := 0; i < b.N; i++ {
-				if _, err := core.SolveGaps(in); err != nil {
+				res, err := core.SolveGaps(in)
+				if err != nil {
 					b.Fatal(err)
 				}
+				states += res.States
 			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 		})
 	}
 }
@@ -294,6 +317,41 @@ func BenchmarkE14_PowerDown(b *testing.B) {
 					b.Fatal("infeasible")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE16_BatchSolve: the Solver facade fanning a fleet of
+// instances across the worker pool, single-worker vs all cores, for
+// both objectives. The states/op metric sums memoized DP subproblems
+// across the whole batch (preprocessing splits shrink it).
+func BenchmarkE16_BatchSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	ins := make([]Instance, 32)
+	for i := range ins {
+		ins[i] = workload.FeasibleOneInterval(rng, 10, 2, 30, 5)
+	}
+	for _, cfg := range []struct {
+		name   string
+		solver Solver
+	}{
+		{"gaps/serial", Solver{Workers: 1}},
+		{"gaps/parallel", Solver{}},
+		{"gaps/parallel-noprep", Solver{NoPreprocess: true}},
+		{"power/serial", Solver{Objective: ObjectivePower, Alpha: 2, Workers: 1}},
+		{"power/parallel", Solver{Objective: ObjectivePower, Alpha: 2}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				for _, r := range cfg.solver.SolveBatch(ins) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					states += r.Solution.States
+				}
+			}
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
 		})
 	}
 }

@@ -1,0 +1,67 @@
+package main
+
+// Experiment E16: the batch-solve facade. A fleet of instances is
+// solved through Solver.SolveBatch at increasing worker counts; the
+// table reports wall-clock scaling and certifies that the parallel
+// results match a sequential solve instance by instance.
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	gapsched "repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E16", "Batch facade: worker-pool scaling of SolveBatch", runE16)
+}
+
+func runE16(cfg config) []*stats.Table {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	count, n := 64, 12
+	if cfg.quick {
+		count, n = 16, 8
+	}
+	ins := make([]gapsched.Instance, count)
+	for i := range ins {
+		ins[i] = workload.FeasibleOneInterval(rng, n, 2, 3*n, 5)
+	}
+
+	tb := stats.NewTable("objective", "instances", "workers", "wall ms", "total DP states", "matches sequential")
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1}
+	if maxWorkers >= 2 {
+		workerCounts = append(workerCounts, 2)
+	}
+	if maxWorkers > 2 {
+		workerCounts = append(workerCounts, maxWorkers)
+	}
+	for _, objective := range []gapsched.Objective{gapsched.ObjectiveGaps, gapsched.ObjectivePower} {
+		s := gapsched.Solver{Objective: objective, Alpha: 2}
+		seq := make([]gapsched.BatchResult, len(ins))
+		for i, in := range ins {
+			seq[i].Solution, seq[i].Err = s.Solve(in)
+		}
+		for _, workers := range workerCounts {
+			s.Workers = workers
+			start := time.Now()
+			batch := s.SolveBatch(ins)
+			wall := float64(time.Since(start).Microseconds()) / 1000
+			states, match := 0, len(batch) == len(seq)
+			for i, r := range batch {
+				states += r.Solution.States
+				if match && ((r.Err == nil) != (seq[i].Err == nil) ||
+					r.Solution.Spans != seq[i].Solution.Spans ||
+					math.Abs(r.Solution.Power-seq[i].Solution.Power) > 1e-9) {
+					match = false
+				}
+			}
+			tb.AddRow(objective.String(), count, workers, wall, states, boolMark(match))
+		}
+	}
+	return []*stats.Table{tb}
+}

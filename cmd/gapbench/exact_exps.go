@@ -1,13 +1,15 @@
 package main
 
-// Experiments E1–E3 and E12: the exact dynamic programs (Theorems 1–2)
-// against brute-force oracles, and their runtime scaling.
+// Experiments E1–E3 and E12: the exact solving pipeline (prep layer +
+// unified DP engine, Theorems 1–2) against brute-force oracles, and its
+// runtime scaling. Everything runs through the public Solver facade, so
+// the tables measure what library users actually get.
 
 import (
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
+	gapsched "repro"
 	"repro/internal/exact"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -35,9 +37,9 @@ func runE1(cfg config) []*stats.Table {
 		for trial := 0; trial < trials; trial++ {
 			in := workload.Multiproc(rng, n, p, 2+n, 5)
 			want, feasible := exact.SpansOneInterval(in)
-			res, err := core.SolveGaps(in)
+			res, err := gapsched.MinimizeGaps(in)
 			if !feasible {
-				if err == core.ErrInfeasible {
+				if err == gapsched.ErrInfeasible {
 					agree++
 				}
 				continue
@@ -69,7 +71,7 @@ func runE2(cfg config) []*stats.Table {
 		for rep := 0; rep < reps; rep++ {
 			in := workload.FeasibleOneInterval(rng, n, 2, 2*n, 6)
 			start := time.Now()
-			res, err := core.SolveGaps(in)
+			res, err := gapsched.MinimizeGaps(in)
 			if err != nil {
 				continue
 			}
@@ -90,7 +92,7 @@ func runE2(cfg config) []*stats.Table {
 		for rep := 0; rep < reps; rep++ {
 			in := workload.FeasibleOneInterval(rng, 12, p, 20, 6)
 			start := time.Now()
-			res, err := core.SolveGaps(in)
+			res, err := gapsched.MinimizeGaps(in)
 			if err != nil {
 				continue
 			}
@@ -117,7 +119,7 @@ func runE3(cfg config) []*stats.Table {
 		for trial := 0; trial < trials; trial++ {
 			in := workload.FeasibleOneInterval(rng, 7, 2, 10, 4)
 			want, _ := exact.PowerOneInterval(in, alpha)
-			res, err := core.SolvePower(in, alpha)
+			res, err := gapsched.MinimizePower(in, alpha)
 			if err == nil && abs(res.Power-want) < 1e-9 {
 				agree++
 			}
@@ -138,7 +140,7 @@ func runE3(cfg config) []*stats.Table {
 			in := sched.NewInstance([]sched.Job{
 				{Release: 0, Deadline: 0}, {Release: g + 1, Deadline: g + 1},
 			})
-			res, err := core.SolvePower(in, alpha)
+			res, err := gapsched.MinimizePower(in, alpha)
 			if err != nil {
 				continue
 			}
@@ -168,9 +170,9 @@ func runE12(cfg config) []*stats.Table {
 	for trial := 0; trial < trials; trial++ {
 		in := workload.OneInterval(rng, 1+rng.Intn(9), 12, 5)
 		want, feasible := exact.SpansOneInterval(in)
-		res, err := core.SolveGaps(in)
+		res, err := gapsched.MinimizeGaps(in)
 		switch {
-		case !feasible && err == core.ErrInfeasible:
+		case !feasible && err == gapsched.ErrInfeasible:
 			agree++
 		case feasible && err == nil && res.Spans == want:
 			agree++
@@ -191,7 +193,7 @@ func runE12(cfg config) []*stats.Table {
 		for rep := 0; rep < reps; rep++ {
 			in := workload.FeasibleOneInterval(rng, n, 1, 3*n, 6)
 			start := time.Now()
-			res, err := core.SolveGaps(in)
+			res, err := gapsched.MinimizeGaps(in)
 			if err != nil {
 				continue
 			}

@@ -1,4 +1,4 @@
-// Command gapbench regenerates the experiment tables of EXPERIMENTS.md:
+// Command gapbench regenerates the experiment tables of DESIGN.md §4:
 // one experiment per theorem of the paper (see DESIGN.md §4).
 //
 // Usage:
@@ -6,7 +6,7 @@
 //	gapbench                  # run everything
 //	gapbench -exp E1,E4       # a subset
 //	gapbench -quick           # smaller sizes / fewer trials
-//	gapbench -markdown        # emit GitHub tables (for EXPERIMENTS.md)
+//	gapbench -markdown        # emit GitHub tables
 //	gapbench -seed 7          # change the workload seed
 package main
 

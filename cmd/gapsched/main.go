@@ -89,18 +89,20 @@ func runOneInterval(in sched.Instance, algo string, alpha float64, quiet bool, w
 	)
 	switch algo {
 	case "gaps":
-		var res gapsched.GapResult
-		res, err = gapsched.MinimizeGaps(in)
+		var sol gapsched.Solution
+		sol, err = gapsched.Solver{Objective: gapsched.ObjectiveGaps}.Solve(in)
 		if err == nil {
-			s = res.Schedule
-			fmt.Fprintf(w, "optimal wake-ups (spans): %d   gaps: %d   DP states: %d\n", res.Spans, res.Gaps, res.States)
+			s = sol.Schedule
+			fmt.Fprintf(w, "optimal wake-ups (spans): %d   gaps: %d   DP states: %d   sub-instances: %d\n",
+				sol.Spans, sol.Gaps, sol.States, sol.Subinstances)
 		}
 	case "power":
-		var res gapsched.PowerResult
-		res, err = gapsched.MinimizePower(in, alpha)
+		var sol gapsched.Solution
+		sol, err = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha}.Solve(in)
 		if err == nil {
-			s = res.Schedule
-			fmt.Fprintf(w, "optimal power: %.3f (α=%.2f)   DP states: %d\n", res.Power, alpha, res.States)
+			s = sol.Schedule
+			fmt.Fprintf(w, "optimal power: %.3f (α=%.2f)   DP states: %d   sub-instances: %d\n",
+				sol.Power, alpha, sol.States, sol.Subinstances)
 		}
 	case "greedy":
 		var res gapsched.GreedyResult

@@ -48,9 +48,7 @@ import (
 // schedule.
 var ErrInfeasible = errors.New("core: instance is infeasible")
 
-const infCost = int(1) << 40
-
-// base holds the instance view shared by the two dynamic programs.
+// base holds the instance view shared by every engine instantiation.
 type base struct {
 	jobs []sched.Job
 	p    int
@@ -66,6 +64,13 @@ func newBase(in sched.Instance) *base {
 		p:     in.Procs,
 		byDL:  in.SortedByDeadline(),
 		lists: make(map[[2]int][]int),
+	}
+	// No schedule ever occupies more than n processors at once, and no
+	// optimal profile rises above the busiest time, so capping p at n
+	// preserves the optimum while shrinking the level dimensions of the
+	// memo table.
+	if b.p > len(in.Jobs) {
+		b.p = len(in.Jobs)
 	}
 	n := len(in.Jobs)
 	lo, hi := in.TimeHorizon()
@@ -111,11 +116,10 @@ func (b *base) list(t1, t2 int) []int {
 	return l
 }
 
-// gridIn returns the grid times within [lo, hi].
-func (b *base) gridIn(lo, hi int) []int {
-	i := sort.SearchInts(b.grid, lo)
-	j := sort.SearchInts(b.grid, hi+1)
-	return b.grid[i:j]
+// gridRange returns the half-open index range of grid times within
+// [lo, hi].
+func (b *base) gridRange(lo, hi int) (int, int) {
+	return sort.SearchInts(b.grid, lo), sort.SearchInts(b.grid, hi+1)
 }
 
 // pendingAfter counts, among the first k−1 jobs of list, those released
@@ -131,21 +135,11 @@ func pendingAfter(jobs []sched.Job, list []int, k, t int) int {
 	return cnt
 }
 
-// state is the memoization key of both DPs.
-type state struct {
-	t1, t2 int32
-	k      int16
-	l1, l2 int8 // busy levels (gap DP) or active levels (power DP)
-	c2     int8 // context jobs stacked at t2 by ancestors
-}
-
-func mkState(t1, t2, k, l1, l2, c2 int) state {
-	return state{t1: int32(t1), t2: int32(t2), k: int16(k), l1: int8(l1), l2: int8(l2), c2: int8(c2)}
-}
-
-// choice kinds recorded for reconstruction.
+// choice kinds recorded for reconstruction. choiceUnset must stay zero:
+// the flat memo table treats a zero entry as "not yet computed".
 const (
-	choiceNone  = iota // infeasible
+	choiceUnset = iota // memo slot never written
+	choiceNone         // infeasible
 	choiceEmpty        // base case, no own jobs
 	choicePoint        // base case t1 == t2, all k jobs at t1
 	choiceA            // j_k placed at t2 (paper case t′ = t2)

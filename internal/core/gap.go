@@ -5,19 +5,53 @@ import (
 	"repro/internal/sched"
 )
 
-// gapResult is one memo entry of the gap DP: the optimal cost of a state
-// plus the choice that attains it, for reconstruction.
-type gapResult struct {
-	cost   int
-	choice int8
-	tp     int32 // j_k's time for choiceB
-	lp     int8  // left child's own level at t′ (choiceB, t′ > t1)
-	lpp    int8  // right child's level at t′+1 (choiceB)
+// gapModel plugs the span-count objective (Theorem 1) into the shared
+// engine. Levels are busy-processor counts: l1/l2 count the subproblem's
+// own jobs at the boundaries, and the c2 context jobs stack on top of
+// l2, so l2 + c2 is the true profile height at t2. The cost of a state
+// is Σ_{u ∈ (t1, t2]} (l_u − l_{u−1})_+, the number of span starts.
+type gapModel struct{ p int }
+
+func (m gapModel) stateOK(l1, l2, c2 int) bool { return l2+c2 <= m.p }
+
+// emptyCost: all own levels are zero; the c2 context jobs at t2 start c2
+// fresh spans when the interval has interior width.
+func (m gapModel) emptyCost(l1, l2, c2, t1, t2 int) (float64, bool) {
+	if l1 != 0 || l2 != 0 {
+		return 0, false
+	}
+	if t2 > t1 {
+		return float64(c2), true
+	}
+	return 0, true
 }
 
-type gapSolver struct {
-	*base
-	memo map[state]gapResult
+func (m gapModel) pointOK(k, l1, l2, c2 int) bool {
+	return l1 == k && l2 == k && k+c2 <= m.p
+}
+
+// caseAChild: j_k moves from the own jobs into the context stack at t2.
+func (m gapModel) caseAChild(l2, c2 int) (int, int, bool) {
+	return l2 - 1, c2 + 1, l2 >= 1
+}
+
+// leftLevel: the left child's own level at t′ excludes j_k, which it
+// sees as context.
+func (m gapModel) leftLevel(busy int) int { return busy - 1 }
+
+// pointLeft: j_k and the kL left jobs all sit at t1, so the boundary
+// level there must be exactly kL+1.
+func (m gapModel) pointLeft(l1, kL int) (int, int, bool) {
+	return kL, kL, l1 == kL+1
+}
+
+// boundary: span starts at t′+1 — profile rises from level to
+// next + ctx.
+func (m gapModel) boundary(level, next, ctx int) float64 {
+	if d := next + ctx - level; d > 0 {
+		return float64(d)
+	}
+	return 0
 }
 
 // Options tunes the gap DP for ablation experiments (E15). The zero
@@ -56,17 +90,12 @@ func SolveGapsOpt(in sched.Instance, opts Options) (Result, error) {
 			b.grid = append(b.grid, t)
 		}
 	}
-	s := &gapSolver{base: b, memo: make(map[state]gapResult)}
-	tStart := s.grid[0] - 1
-	tEnd := s.grid[len(s.grid)-1] + 1
-	root := mkState(tStart, tEnd, n, 0, 0, 0)
-	cost := s.dp(root)
-	if cost >= infCost {
+	e := newEngine(b, gapModel{p: b.p})
+	cost, placed, states, ok := e.run(n)
+	if !ok {
 		// Cannot happen after the Hall pre-check; defensive.
 		return Result{}, ErrInfeasible
 	}
-	placed := make(map[int]int, n)
-	s.rebuild(root, placed)
 	schedule, err := assemble(n, in.Procs, placed)
 	if err != nil {
 		return Result{}, err
@@ -74,171 +103,11 @@ func SolveGapsOpt(in sched.Instance, opts Options) (Result, error) {
 	if err := schedule.Validate(in); err != nil {
 		return Result{}, err
 	}
+	spans := int(cost)
 	return Result{
-		Spans:    cost,
-		Gaps:     cost - 1,
+		Spans:    spans,
+		Gaps:     spans - 1,
 		Schedule: schedule,
-		States:   len(s.memo),
+		States:   states,
 	}, nil
-}
-
-// dp returns the minimum Σ_{u ∈ (t1, t2]} (l_u − l_{u−1})_+ over feasible
-// completions of the state, or infCost.
-func (s *gapSolver) dp(st state) int {
-	if r, ok := s.memo[st]; ok {
-		return r.cost
-	}
-	r := s.compute(st)
-	s.memo[st] = r
-	return r.cost
-}
-
-func (s *gapSolver) compute(st state) gapResult {
-	t1, t2 := int(st.t1), int(st.t2)
-	k, l1, l2, c2 := int(st.k), int(st.l1), int(st.l2), int(st.c2)
-	inf := gapResult{cost: infCost, choice: choiceNone}
-
-	if l1 < 0 || l2 < 0 || c2 < 0 || l1 > s.p || l2+c2 > s.p {
-		return inf
-	}
-
-	// Base: no own jobs. All own levels are zero; the c2 context jobs at
-	// t2 start c2 fresh spans when the interval has interior width.
-	if k == 0 {
-		if l1 != 0 || l2 != 0 {
-			return inf
-		}
-		cost := 0
-		if t2 > t1 {
-			cost = c2
-		}
-		return gapResult{cost: cost, choice: choiceEmpty}
-	}
-
-	list := s.list(t1, t2)
-	if k > len(list) {
-		return inf
-	}
-
-	// Base: single time unit. All k own jobs execute at t1 = t2.
-	if t1 == t2 {
-		if l1 != k || l2 != k || k+c2 > s.p {
-			return inf
-		}
-		return gapResult{cost: 0, choice: choicePoint}
-	}
-
-	jk := list[k-1]
-	job := s.jobs[jk]
-	best := inf
-
-	// Case A: j_k at t′ = t2, joining the context stack.
-	if l2 >= 1 && job.Deadline >= t2 {
-		if c := s.dp(mkState(t1, t2, k-1, l1, l2-1, c2+1)); c < best.cost {
-			best = gapResult{cost: c, choice: choiceA}
-		}
-	}
-
-	// Case B: j_k at a grid time t′ with t1 ≤ t′ < t2.
-	lo := job.Release
-	if lo < t1 {
-		lo = t1
-	}
-	hi := job.Deadline
-	if hi > t2-1 {
-		hi = t2 - 1
-	}
-	for _, tp := range s.gridIn(lo, hi) {
-		i := pendingAfter(s.jobs, list, k, tp)
-		kL := k - 1 - i
-
-		// The true level at t′+1 is the right child's own level plus,
-		// when t′+1 = t2, the context jobs stacked there by ancestors.
-		ctxAtNext := 0
-		if tp+1 == t2 {
-			ctxAtNext = c2
-		}
-
-		if tp == t1 {
-			// j_k and the kL left jobs all sit at t1; the left child is
-			// the single-point base with j_k as context.
-			if l1 != kL+1 {
-				continue
-			}
-			left := s.dp(mkState(t1, t1, kL, kL, kL, 1))
-			if left >= infCost {
-				continue
-			}
-			for lpp := 0; lpp <= s.p; lpp++ {
-				right := s.dp(mkState(t1+1, t2, i, lpp, l2, c2))
-				if right >= infCost {
-					continue
-				}
-				boundary := lpp + ctxAtNext - l1
-				if boundary < 0 {
-					boundary = 0
-				}
-				if c := left + boundary + right; c < best.cost {
-					best = gapResult{cost: c, choice: choiceB, tp: int32(tp), lp: int8(-1), lpp: int8(lpp)}
-				}
-			}
-			continue
-		}
-
-		for lp := 0; lp <= s.p-1; lp++ { // left child's own level at t′; +1 for j_k ≤ p
-			left := s.dp(mkState(t1, tp, kL, l1, lp, 1))
-			if left >= infCost {
-				continue
-			}
-			for lpp := 0; lpp <= s.p; lpp++ {
-				right := s.dp(mkState(tp+1, t2, i, lpp, l2, c2))
-				if right >= infCost {
-					continue
-				}
-				boundary := lpp + ctxAtNext - (lp + 1)
-				if boundary < 0 {
-					boundary = 0
-				}
-				if c := left + boundary + right; c < best.cost {
-					best = gapResult{cost: c, choice: choiceB, tp: int32(tp), lp: int8(lp), lpp: int8(lpp)}
-				}
-			}
-		}
-	}
-	return best
-}
-
-// rebuild replays the recorded choices, recording job→time placements.
-func (s *gapSolver) rebuild(st state, placed map[int]int) {
-	r, ok := s.memo[st]
-	if !ok || r.choice == choiceNone {
-		return
-	}
-	t1, t2 := int(st.t1), int(st.t2)
-	k := int(st.k)
-	switch r.choice {
-	case choiceEmpty:
-		return
-	case choicePoint:
-		for _, j := range s.list(t1, t2)[:k] {
-			placed[j] = t1
-		}
-	case choiceA:
-		jk := s.list(t1, t2)[k-1]
-		placed[jk] = t2
-		s.rebuild(mkState(t1, t2, k-1, int(st.l1), int(st.l2)-1, int(st.c2)+1), placed)
-	case choiceB:
-		list := s.list(t1, t2)
-		jk := list[k-1]
-		tp := int(r.tp)
-		placed[jk] = tp
-		i := pendingAfter(s.jobs, list, k, tp)
-		kL := k - 1 - i
-		if tp == t1 {
-			s.rebuild(mkState(t1, t1, kL, kL, kL, 1), placed)
-		} else {
-			s.rebuild(mkState(t1, tp, kL, int(st.l1), int(r.lp), 1), placed)
-		}
-		s.rebuild(mkState(tp+1, t2, i, int(r.lpp), int(st.l2), int(st.c2)), placed)
-	}
 }

@@ -5,21 +5,69 @@ import (
 	"repro/internal/sched"
 )
 
-const infPower = float64(1 << 60)
-
-// powerResult is one memo entry of the power DP.
-type powerResult struct {
-	cost   float64
-	choice int8
-	tp     int32 // j_k's time for choiceB
-	ap     int8  // active level at t′ (choiceB, t′ > t1)
-	app    int8  // active level at t′+1 (choiceB)
+// powerModel plugs the power objective (Theorem 2) into the shared
+// engine. Levels are *active* processor counts — processors may stay
+// active without executing a job (bridging) — and the c2 context jobs
+// execute at t2, lower-bounding the active level there (c2 ≤ l2). The
+// cost of a state is Σ_{u ∈ (t1, t2]} A_u + alpha·(A_u − A_{u−1})_+
+// over active profiles A.
+type powerModel struct {
+	p     int
+	alpha float64
 }
 
-type powerSolver struct {
-	*base
-	alpha float64
-	memo  map[state]powerResult
+func (m powerModel) stateOK(l1, l2, c2 int) bool { return l2 <= m.p && c2 <= l2 }
+
+// emptyCost solves the jobless base case in closed form: boundary active
+// levels l1 (at t1) and l2 (at t2) with interior width t2−t1−1. Up to
+// min(l1, l2) processors may bridge the interior (cost width each, no
+// transition at t2); the remaining l2−b wake at t2 (cost alpha each);
+// everyone pays one active unit at t2.
+func (m powerModel) emptyCost(l1, l2, c2, t1, t2 int) (float64, bool) {
+	if t1 == t2 {
+		return 0, l1 == l2
+	}
+	width := t2 - t1 - 1
+	best := infinite
+	maxB := l1
+	if l2 < maxB {
+		maxB = l2
+	}
+	for b := 0; b <= maxB; b++ {
+		if c := float64(l2) + float64(b*width) + m.alpha*float64(l2-b); c < best {
+			best = c
+		}
+	}
+	return best, true
+}
+
+func (m powerModel) pointOK(k, l1, l2, c2 int) bool {
+	return l1 == l2 && k+c2 <= l2
+}
+
+// caseAChild: the active level at t2 already covers the context, so
+// only the context count grows.
+func (m powerModel) caseAChild(l2, c2 int) (int, int, bool) {
+	return l2, c2 + 1, c2+1 <= l2
+}
+
+// leftLevel: active levels include context, so the left child's level
+// at t′ is the full profile height there.
+func (m powerModel) leftLevel(busy int) int { return busy }
+
+func (m powerModel) pointLeft(l1, kL int) (int, int, bool) {
+	return l1, l1, true
+}
+
+// boundary: the parent-owned cost of time unit t′+1 — its active units
+// plus wake transitions relative to the level at t′. Context at t2 is
+// already inside the active level, so ctx is unused.
+func (m powerModel) boundary(level, next, ctx int) float64 {
+	c := float64(next)
+	if next > level {
+		c += m.alpha * float64(next-level)
+	}
+	return c
 }
 
 // SolvePower computes an optimal minimum-power schedule for a
@@ -27,11 +75,6 @@ type powerSolver struct {
 // (Theorem 2). Processors may remain active without executing a job
 // (bridging); the optimum therefore bridges exactly the gaps shorter
 // than alpha. It returns ErrInfeasible when no feasible schedule exists.
-//
-// In this DP the state levels l1/l2 are *active* processor counts; the
-// context count c2 is the number of ancestor jobs executing at t2, which
-// lower-bounds the active level there. The cost of a state is
-// Σ_{u ∈ (t1, t2]} A_u + alpha·(A_u − A_{u−1})_+ over active profiles A.
 func SolvePower(in sched.Instance, alpha float64) (PowerResult, error) {
 	if err := in.Validate(); err != nil {
 		return PowerResult{}, err
@@ -46,16 +89,13 @@ func SolvePower(in sched.Instance, alpha float64) (PowerResult, error) {
 	if !feas.FeasibleOneInterval(in) {
 		return PowerResult{}, ErrInfeasible
 	}
-	s := &powerSolver{base: newBase(in), alpha: alpha, memo: make(map[state]powerResult)}
-	tStart := s.grid[0] - 1
-	tEnd := s.grid[len(s.grid)-1] + 1
-	root := mkState(tStart, tEnd, n, 0, 0, 0)
-	cost := s.dp(root)
-	if cost >= infPower {
+	b := newBase(in)
+	e := newEngine(b, powerModel{p: b.p, alpha: alpha})
+	cost, placed, states, ok := e.run(n)
+	if !ok {
+		// Cannot happen after the Hall pre-check; defensive.
 		return PowerResult{}, ErrInfeasible
 	}
-	placed := make(map[int]int, n)
-	s.rebuild(root, placed)
 	schedule, err := assemble(n, in.Procs, placed)
 	if err != nil {
 		return PowerResult{}, err
@@ -63,7 +103,7 @@ func SolvePower(in sched.Instance, alpha float64) (PowerResult, error) {
 	if err := schedule.Validate(in); err != nil {
 		return PowerResult{}, err
 	}
-	return PowerResult{Power: cost, Schedule: schedule, States: len(s.memo)}, nil
+	return PowerResult{Power: cost, Schedule: schedule, States: states}, nil
 }
 
 var errNegativeAlpha = errInvalid("core: negative transition cost alpha")
@@ -71,172 +111,3 @@ var errNegativeAlpha = errInvalid("core: negative transition cost alpha")
 type errInvalid string
 
 func (e errInvalid) Error() string { return string(e) }
-
-func (s *powerSolver) dp(st state) float64 {
-	if r, ok := s.memo[st]; ok {
-		return r.cost
-	}
-	r := s.compute(st)
-	s.memo[st] = r
-	return r.cost
-}
-
-// emptyCost solves the jobless base case in closed form: boundary active
-// levels a1 (at t1) and a2 (at t2) with interior width L = t2−t1−1.
-// Up to min(a1, a2) processors may bridge the interior (cost L each, no
-// transition at t2); the remaining a2−b wake at t2 (cost alpha each);
-// everyone pays one active unit at t2.
-func (s *powerSolver) emptyCost(a1, a2, width int) float64 {
-	best := infPower
-	maxB := a1
-	if a2 < maxB {
-		maxB = a2
-	}
-	for b := 0; b <= maxB; b++ {
-		c := float64(a2) + float64(b*width) + s.alpha*float64(a2-b)
-		if c < best {
-			best = c
-		}
-	}
-	return best
-}
-
-func (s *powerSolver) compute(st state) powerResult {
-	t1, t2 := int(st.t1), int(st.t2)
-	k, a1, a2, c2 := int(st.k), int(st.l1), int(st.l2), int(st.c2)
-	inf := powerResult{cost: infPower, choice: choiceNone}
-
-	if a1 < 0 || a2 < 0 || c2 < 0 || a1 > s.p || a2 > s.p || c2 > a2 {
-		return inf
-	}
-
-	// Base: no own jobs. Busy level is c2 at t2 (context) and 0 inside.
-	if k == 0 {
-		if t1 == t2 {
-			if a1 != a2 {
-				return inf
-			}
-			return powerResult{cost: 0, choice: choiceEmpty}
-		}
-		return powerResult{cost: s.emptyCost(a1, a2, t2-t1-1), choice: choiceEmpty}
-	}
-
-	list := s.list(t1, t2)
-	if k > len(list) {
-		return inf
-	}
-
-	// Base: single time unit; all k own jobs and c2 context jobs at t1.
-	if t1 == t2 {
-		if a1 != a2 || k+c2 > a2 {
-			return inf
-		}
-		return powerResult{cost: 0, choice: choicePoint}
-	}
-
-	jk := list[k-1]
-	job := s.jobs[jk]
-	best := inf
-
-	// Case A: j_k at t2, joining the context stack.
-	if job.Deadline >= t2 && c2+1 <= a2 {
-		if c := s.dp(mkState(t1, t2, k-1, a1, a2, c2+1)); c < best.cost {
-			best = powerResult{cost: c, choice: choiceA}
-		}
-	}
-
-	// Case B: j_k at a grid time t′ with t1 ≤ t′ < t2.
-	lo := job.Release
-	if lo < t1 {
-		lo = t1
-	}
-	hi := job.Deadline
-	if hi > t2-1 {
-		hi = t2 - 1
-	}
-	for _, tp := range s.gridIn(lo, hi) {
-		i := pendingAfter(s.jobs, list, k, tp)
-		kL := k - 1 - i
-
-		if tp == t1 {
-			// Left child is the single point t1 with j_k as context.
-			left := s.dp(mkState(t1, t1, kL, a1, a1, 1))
-			if left >= infPower {
-				continue
-			}
-			for app := 0; app <= s.p; app++ {
-				right := s.dp(mkState(t1+1, t2, i, app, a2, c2))
-				if right >= infPower {
-					continue
-				}
-				c := left + right + s.boundary(a1, app)
-				if c < best.cost {
-					best = powerResult{cost: c, choice: choiceB, tp: int32(tp), ap: int8(-1), app: int8(app)}
-				}
-			}
-			continue
-		}
-
-		for ap := 1; ap <= s.p; ap++ { // active level at t′ must cover j_k
-			left := s.dp(mkState(t1, tp, kL, a1, ap, 1))
-			if left >= infPower {
-				continue
-			}
-			for app := 0; app <= s.p; app++ {
-				right := s.dp(mkState(tp+1, t2, i, app, a2, c2))
-				if right >= infPower {
-					continue
-				}
-				c := left + right + s.boundary(ap, app)
-				if c < best.cost {
-					best = powerResult{cost: c, choice: choiceB, tp: int32(tp), ap: int8(ap), app: int8(app)}
-				}
-			}
-		}
-	}
-	return best
-}
-
-// boundary is the cost owned by the parent for time unit t′+1: its
-// active units plus wake transitions relative to the level at t′.
-func (s *powerSolver) boundary(atTP, atNext int) float64 {
-	c := float64(atNext)
-	if atNext > atTP {
-		c += s.alpha * float64(atNext-atTP)
-	}
-	return c
-}
-
-func (s *powerSolver) rebuild(st state, placed map[int]int) {
-	r, ok := s.memo[st]
-	if !ok || r.choice == choiceNone {
-		return
-	}
-	t1, t2 := int(st.t1), int(st.t2)
-	k := int(st.k)
-	switch r.choice {
-	case choiceEmpty:
-		return
-	case choicePoint:
-		for _, j := range s.list(t1, t2)[:k] {
-			placed[j] = t1
-		}
-	case choiceA:
-		jk := s.list(t1, t2)[k-1]
-		placed[jk] = t2
-		s.rebuild(mkState(t1, t2, k-1, int(st.l1), int(st.l2), int(st.c2)+1), placed)
-	case choiceB:
-		list := s.list(t1, t2)
-		jk := list[k-1]
-		tp := int(r.tp)
-		placed[jk] = tp
-		i := pendingAfter(s.jobs, list, k, tp)
-		kL := k - 1 - i
-		if tp == t1 {
-			s.rebuild(mkState(t1, t1, kL, int(st.l1), int(st.l1), 1), placed)
-		} else {
-			s.rebuild(mkState(t1, tp, kL, int(st.l1), int(r.ap), 1), placed)
-		}
-		s.rebuild(mkState(tp+1, t2, i, int(r.app), int(st.l2), int(st.c2)), placed)
-	}
-}

@@ -1,0 +1,205 @@
+package gapsched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/prep"
+	"repro/internal/sched"
+)
+
+// Objective selects what a Solver minimizes.
+type Objective int
+
+const (
+	// ObjectiveGaps minimizes the total number of spans — sleep→active
+	// transitions — across processors (Theorem 1).
+	ObjectiveGaps Objective = iota
+	// ObjectivePower minimizes total power consumption under the
+	// transition cost Alpha, with idle-active bridging (Theorem 2).
+	ObjectivePower
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveGaps:
+		return "gaps"
+	case ObjectivePower:
+		return "power"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Solver is the configured entry point to the exact solving pipeline:
+// preprocessing (instance decomposition and coordinate compression, see
+// internal/prep), the unified DP engine (internal/core), and — for
+// SolveBatch — a bounded worker pool. The zero value minimizes gaps
+// with preprocessing enabled.
+type Solver struct {
+	// Objective selects the cost model. Default: ObjectiveGaps.
+	Objective Objective
+	// Alpha is the sleep→active transition cost; used by
+	// ObjectivePower. Must be non-negative.
+	Alpha float64
+	// NoPreprocess skips the prep layer and hands the raw instance to
+	// the DP engine in one piece. Useful for ablation; results are
+	// identical either way.
+	NoPreprocess bool
+	// Workers bounds SolveBatch concurrency. Zero or negative means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Solution is the unified outcome of a Solver run.
+type Solution struct {
+	// Spans is the optimal number of spans (wake-ups) summed over
+	// processors. For ObjectivePower it reports the spans of the
+	// returned schedule, which need not be span-minimal.
+	Spans int
+	// Gaps is Spans−1 (clamped at 0), the classic gap count on one
+	// processor.
+	Gaps int
+	// Power is the optimal power consumption; set for ObjectivePower.
+	Power float64
+	// Schedule is an optimal schedule for the configured objective.
+	Schedule Schedule
+	// States counts memoized DP subproblems, summed over sub-instances:
+	// the effective size of the exact computation.
+	States int
+	// Subinstances is the number of independent fragments the prep
+	// layer solved (1 when preprocessing is off or nothing splits, 0
+	// for the empty instance).
+	Subinstances int
+}
+
+// Solve runs the configured pipeline on one instance.
+func (s Solver) Solve(in Instance) (Solution, error) {
+	switch s.Objective {
+	case ObjectiveGaps:
+		return s.solveGaps(in)
+	case ObjectivePower:
+		return s.solvePower(in)
+	default:
+		return Solution{}, fmt.Errorf("gapsched: unknown objective %v", s.Objective)
+	}
+}
+
+func (s Solver) solveGaps(in Instance) (Solution, error) {
+	cost, sol, err := s.pipeline(in, prep.ForGaps, func(fr sched.Instance) (float64, sched.Schedule, int, error) {
+		res, err := core.SolveGaps(fr)
+		return float64(res.Spans), res.Schedule, res.States, err
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	sol.Spans = int(cost)
+	sol.Gaps = max(sol.Spans-1, 0)
+	return sol, nil
+}
+
+func (s Solver) solvePower(in Instance) (Solution, error) {
+	if s.Alpha < 0 {
+		return Solution{}, fmt.Errorf("gapsched: negative transition cost alpha %v", s.Alpha)
+	}
+	plan := func(in sched.Instance) *prep.Plan { return prep.ForPower(in, s.Alpha) }
+	cost, sol, err := s.pipeline(in, plan, func(fr sched.Instance) (float64, sched.Schedule, int, error) {
+		res, err := core.SolvePower(fr, s.Alpha)
+		return res.Power, res.Schedule, res.States, err
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	sol.Power = cost
+	sol.Spans = sol.Schedule.Spans()
+	sol.Gaps = max(sol.Spans-1, 0)
+	return sol, nil
+}
+
+// pipeline is the objective-independent half of Solve: decompose with
+// the prep layer (unless NoPreprocess), solve every fragment with
+// solveSub, accumulate cost and states, and reassemble a schedule of
+// the original instance. The objective-specific entry points interpret
+// the accumulated cost.
+func (s Solver) pipeline(
+	in Instance,
+	plan func(sched.Instance) *prep.Plan,
+	solveSub func(sched.Instance) (float64, sched.Schedule, int, error),
+) (float64, Solution, error) {
+	if s.NoPreprocess {
+		cost, schedule, states, err := solveSub(in)
+		if err != nil {
+			return 0, Solution{}, err
+		}
+		return cost, Solution{Schedule: schedule, States: states, Subinstances: 1}, nil
+	}
+	if err := in.Validate(); err != nil {
+		return 0, Solution{}, err
+	}
+	pl := plan(in)
+	sol := Solution{Subinstances: len(pl.Subs)}
+	parts := make([]sched.Schedule, len(pl.Subs))
+	cost := 0.0
+	for i, sub := range pl.Subs {
+		c, schedule, states, err := solveSub(sub.Instance)
+		if err != nil {
+			return 0, Solution{}, err
+		}
+		cost += c
+		sol.States += states
+		parts[i] = schedule
+	}
+	schedule, err := pl.Assemble(parts)
+	if err != nil {
+		return 0, Solution{}, err
+	}
+	if err := schedule.Validate(in); err != nil {
+		return 0, Solution{}, err
+	}
+	sol.Schedule = schedule
+	return cost, sol, nil
+}
+
+// BatchResult pairs one instance's Solution with its error; exactly one
+// of the two is meaningful.
+type BatchResult struct {
+	Solution Solution
+	Err      error
+}
+
+// SolveBatch solves every instance with the configured pipeline,
+// fanning the work across a worker pool bounded by Workers (default
+// GOMAXPROCS). Results align positionally with ins. Instances are
+// independent; a failure in one does not disturb the others.
+func (s Solver) SolveBatch(ins []Instance) []BatchResult {
+	out := make([]BatchResult, len(ins))
+	if len(ins) == 0 {
+		return out
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ins) {
+					return
+				}
+				out[i].Solution, out[i].Err = s.Solve(ins[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
