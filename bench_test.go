@@ -1,6 +1,6 @@
 package gapsched
 
-// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E16),
+// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E17),
 // one benchmark per table/figure. Run with:
 //
 //	go test -bench=. -benchmem
@@ -352,6 +352,43 @@ func BenchmarkE16_BatchSolve(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+		})
+	}
+}
+
+// BenchmarkE17_FragmentCache: a duplicate-heavy batch through the
+// fragment-level SolveBatch with the canonical-fragment cache off, on
+// per batch (CacheSize), and shared across iterations (Cache). The
+// hits/op metric counts fragments served from the cache.
+func BenchmarkE17_FragmentCache(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	distinct := make([]Instance, 8)
+	for i := range distinct {
+		distinct[i] = workload.FeasibleOneInterval(rng, 10, 2, 30, 5)
+	}
+	ins := make([]Instance, 64)
+	for i := range ins {
+		ins[i] = distinct[rng.Intn(len(distinct))]
+	}
+	for _, cfg := range []struct {
+		name   string
+		solver Solver
+	}{
+		{"uncached", Solver{}},
+		{"cached-per-batch", Solver{CacheSize: 1 << 12}},
+		{"cached-shared", Solver{Cache: NewFragmentCache(1 << 12)}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				for _, r := range cfg.solver.SolveBatch(ins) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+					hits += r.Solution.CacheHits
+				}
+			}
+			b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
 		})
 	}
 }

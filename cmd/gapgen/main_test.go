@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/feas"
+	"repro/internal/sched"
+)
+
+// runGapgen invokes main with a canned command line, capturing stdout.
+// gapgen registers its flags inside main on the global FlagSet, so each
+// invocation gets a fresh one (which also keeps the test binary's own
+// flags out of the way).
+func runGapgen(t *testing.T, args ...string) sched.File {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet("gapgen", flag.ExitOnError)
+	oldArgs, oldStdout := os.Args, os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Args = append([]string{"gapgen"}, args...)
+	os.Stdout = w
+	defer func() {
+		os.Args = oldArgs
+		os.Stdout = oldStdout
+	}()
+	main()
+	w.Close()
+	f, err := sched.ReadJSON(r)
+	if err != nil {
+		t.Fatalf("gapgen %v emitted undecodable JSON: %v", args, err)
+	}
+	return f
+}
+
+// Smoke test: every generator kind must emit a decodable sched.File
+// with the requested shape.
+func TestGapgenKindsEmitDecodableJSON(t *testing.T) {
+	oneInterval := []string{"one-interval", "bursty", "periodic", "online-lb"}
+	for _, kind := range oneInterval {
+		f := runGapgen(t, "-kind", kind, "-n", "6", "-seed", "3")
+		if f.Kind != sched.KindOneInterval || f.Instance == nil {
+			t.Fatalf("%s: wrong envelope %+v", kind, f)
+		}
+		if len(f.Instance.Jobs) == 0 {
+			t.Fatalf("%s: no jobs generated", kind)
+		}
+		if err := f.Instance.Validate(); err != nil {
+			t.Fatalf("%s: invalid instance: %v", kind, err)
+		}
+	}
+	for _, kind := range []string{"multi-interval", "disjoint-unit"} {
+		f := runGapgen(t, "-kind", kind, "-n", "5", "-intervals", "2", "-seed", "3")
+		if f.Kind != sched.KindMultiInterval || f.Multi == nil {
+			t.Fatalf("%s: wrong envelope %+v", kind, f)
+		}
+		if len(f.Multi.Jobs) == 0 {
+			t.Fatalf("%s: no jobs generated", kind)
+		}
+	}
+}
+
+// The default one-interval kind redraws until feasible; the emitted
+// instance must therefore admit a schedule.
+func TestGapgenDefaultIsFeasible(t *testing.T) {
+	f := runGapgen(t, "-n", "8", "-p", "2", "-seed", "7")
+	if f.Instance == nil {
+		t.Fatal("no instance in envelope")
+	}
+	if !feas.FeasibleOneInterval(*f.Instance) {
+		t.Fatalf("default generation produced an infeasible instance: %+v", f.Instance)
+	}
+}

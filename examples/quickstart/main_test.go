@@ -1,0 +1,23 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// Smoke test: the example must run end to end. Any solver error aborts
+// the test binary through log.Fatal. Stdout is silenced to keep test
+// logs readable.
+func TestProgramRuns(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	main()
+}

@@ -1,0 +1,147 @@
+package gapsched
+
+// Native fuzz targets hardening the full pipeline: for any decodable
+// instance, the preprocessed pipeline (with and without the fragment
+// cache, solo and batched) must agree exactly with a NoPreprocess
+// direct DP solve — same feasibility verdict, same optimal cost, valid
+// schedules. Seeds come from the internal/workload generators; the
+// decoder clamps every field so all byte strings map to small valid
+// instances and the DP stays fast enough to fuzz.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const (
+	fuzzMaxJobs    = 7
+	fuzzMaxProcs   = 3
+	fuzzMaxRelease = 40
+	fuzzMaxSlack   = 6
+	fuzzMaxAlpha   = 9 // half-units: alpha ∈ {0, 0.5, …, 4}
+)
+
+// encodeFuzzInstance serializes an instance into the byte format that
+// decodeFuzzInstance parses, for seeding the corpus. Out-of-range
+// fields are clamped by the modulus, which only matters for seeds drawn
+// beyond the fuzz ranges (the workload calls below stay inside them).
+func encodeFuzzInstance(in Instance, alphaHalves byte) []byte {
+	data := []byte{alphaHalves % fuzzMaxAlpha, byte(len(in.Jobs)-1) % fuzzMaxJobs, byte(in.Procs-1) % fuzzMaxProcs}
+	for _, j := range in.Jobs {
+		data = append(data, byte(j.Release)%fuzzMaxRelease, byte(j.Deadline-j.Release)%fuzzMaxSlack)
+	}
+	return data
+}
+
+// decodeFuzzInstance maps arbitrary bytes onto a small always-valid
+// instance plus a transition cost; ok is false when data is too short.
+func decodeFuzzInstance(data []byte) (in Instance, alpha float64, ok bool) {
+	if len(data) < 3 {
+		return Instance{}, 0, false
+	}
+	alpha = float64(data[0]%fuzzMaxAlpha) / 2
+	n := int(data[1]%fuzzMaxJobs) + 1
+	p := int(data[2]%fuzzMaxProcs) + 1
+	if len(data) < 3+2*n {
+		return Instance{}, 0, false
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		r := int(data[3+2*i] % fuzzMaxRelease)
+		w := int(data[4+2*i] % fuzzMaxSlack)
+		jobs[i] = Job{Release: r, Deadline: r + w}
+	}
+	return Instance{Jobs: jobs, Procs: p}, alpha, true
+}
+
+// seedFuzzCorpus adds workload-generator instances as the corpus.
+func seedFuzzCorpus(f *testing.F) {
+	f.Helper()
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 12; i++ {
+		in := workload.Multiproc(rng, 1+rng.Intn(fuzzMaxJobs), 1+rng.Intn(fuzzMaxProcs), 6+rng.Intn(30), 5)
+		f.Add(encodeFuzzInstance(in, byte(rng.Intn(fuzzMaxAlpha))))
+	}
+	for i := 0; i < 4; i++ {
+		in := workload.Bursty(rng, 1+rng.Intn(fuzzMaxJobs), 1+rng.Intn(3), 30, 4, 4)
+		f.Add(encodeFuzzInstance(in, byte(rng.Intn(fuzzMaxAlpha))))
+	}
+	f.Add(encodeFuzzInstance(workload.TightChain(5), 2))
+	f.Add([]byte{0, 0, 0, 0, 0})
+}
+
+// checkFuzzAgreement runs one instance through the direct, full, and
+// cached pipelines plus a duplicate-pair cached batch, and fails unless
+// every path agrees on feasibility and cost with valid schedules.
+// cost extracts the objective value from a Solution.
+func checkFuzzAgreement(t *testing.T, s Solver, in Instance, cost func(Solution) float64) {
+	t.Helper()
+	direct := s
+	direct.NoPreprocess = true
+	cached := s
+	cached.Cache = NewFragmentCache(64)
+	batched := s
+	batched.CacheSize = 64
+
+	want, directErr := direct.Solve(in)
+	full, fullErr := s.Solve(in)
+	hot, cachedErr := cached.Solve(in)
+	pair := batched.SolveBatch([]Instance{in, in})
+
+	for name, err := range map[string]error{
+		"full": fullErr, "cached": cachedErr, "batch[0]": pair[0].Err, "batch[1]": pair[1].Err,
+	} {
+		if (directErr == nil) != (err == nil) {
+			t.Fatalf("%s err %v, direct err %v (jobs %v procs %d)", name, err, directErr, in.Jobs, in.Procs)
+		}
+	}
+	if directErr != nil {
+		// The only error a valid instance can produce is infeasibility,
+		// and every path must classify it identically.
+		for name, err := range map[string]error{
+			"direct": directErr, "full": fullErr, "cached": cachedErr, "batch": pair[0].Err,
+		} {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("%s failed with %v, want ErrInfeasible (jobs %v procs %d)", name, err, in.Jobs, in.Procs)
+			}
+		}
+		return
+	}
+	for name, sol := range map[string]Solution{
+		"full": full, "cached": hot, "batch[0]": pair[0].Solution, "batch[1]": pair[1].Solution,
+	} {
+		if math.Abs(cost(sol)-cost(want)) > 1e-9 {
+			t.Fatalf("%s cost %v, direct %v (jobs %v procs %d)", name, cost(sol), cost(want), in.Jobs, in.Procs)
+		}
+		if err := sol.Schedule.Validate(in); err != nil {
+			t.Fatalf("%s schedule invalid: %v (jobs %v procs %d)", name, err, in.Jobs, in.Procs)
+		}
+	}
+}
+
+func FuzzSolveGaps(f *testing.F) {
+	seedFuzzCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, _, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		checkFuzzAgreement(t, Solver{}, in, func(sol Solution) float64 { return float64(sol.Spans) })
+	})
+}
+
+func FuzzSolvePower(f *testing.F) {
+	seedFuzzCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, alpha, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		s := Solver{Objective: ObjectivePower, Alpha: alpha}
+		checkFuzzAgreement(t, s, in, func(sol Solution) float64 { return sol.Power })
+	})
+}

@@ -1,0 +1,204 @@
+// Package fragcache is a sharded, bounded, concurrency-safe
+// memoization cache with in-flight deduplication ("singleflight"). The
+// solver facade uses it to cache canonical-fragment solutions across a
+// batch: duplicate fragments — the common case for bursty
+// power-management workloads that repeat the same local job patterns —
+// are solved once and served from memory afterwards, and two workers
+// that reach the same fragment concurrently share one computation
+// instead of racing to duplicate it.
+//
+// The cache is generic in its value type and keyed by exact strings
+// (the facade uses prep.CanonicalKey), so a hit can never conflate two
+// different subproblems. Keys hash onto a fixed set of shards, each
+// holding an independently locked LRU list; capacity is enforced per
+// shard, so the total bound is approximate (capacity rounded up to a
+// multiple of the shard count) but eviction never blocks other shards.
+package fragcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards fixes the lock-striping width. 16 keeps per-shard mutex
+// contention negligible for worker pools up to a few dozen goroutines
+// while keeping the per-cache footprint trivial.
+const numShards = 16
+
+// Cache is a sharded LRU memoization cache. The zero value is not
+// usable; construct with New.
+type Cache[V any] struct {
+	shards [numShards]shard[V]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	waits     atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*list.Element // key → *lruEntry[V] element
+	order    *list.List               // front = most recently used
+	inflight map[string]*call[V]
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation. done is closed when the leader
+// finishes; ok reports whether val was actually produced (false when
+// the leader's compute panicked, in which case waiters retry).
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	ok   bool
+}
+
+// New builds a cache holding at most about capacity entries (rounded up
+// to a multiple of the shard count; capacities below one entry per
+// shard still admit one entry per shard).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	per := (capacity + numShards - 1) / numShards
+	c := &Cache[V]{}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = per
+		sh.entries = make(map[string]*list.Element)
+		sh.order = list.New()
+		sh.inflight = make(map[string]*call[V])
+	}
+	return c
+}
+
+// Do returns the value for key, running compute to produce it on a
+// miss. Concurrent calls with an equal key are deduplicated: exactly
+// one caller (the leader) runs compute while the rest block and share
+// its result. hit reports whether this caller avoided running compute —
+// a stored entry or a completed in-flight computation.
+//
+// compute must be deterministic for the key (the facade guarantees
+// this: keys encode the whole subproblem) and must not call back into
+// the same cache key, which would deadlock.
+func (c *Cache[V]) Do(key string, compute func() V) (v V, hit bool) {
+	sh := &c.shards[shardIndex(key)%numShards]
+	for {
+		sh.mu.Lock()
+		if el, ok := sh.entries[key]; ok {
+			sh.order.MoveToFront(el)
+			v = el.Value.(*lruEntry[V]).val
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return v, true
+		}
+		if cl, ok := sh.inflight[key]; ok {
+			sh.mu.Unlock()
+			c.waits.Add(1)
+			<-cl.done
+			if cl.ok {
+				c.hits.Add(1)
+				return cl.val, true
+			}
+			continue // the leader panicked; take over the computation
+		}
+		cl := &call[V]{done: make(chan struct{})}
+		sh.inflight[key] = cl
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return c.lead(sh, key, cl, compute)
+	}
+}
+
+// lead runs compute as the single in-flight leader for key. Publishing
+// happens in a defer so that waiters are woken even if compute panics;
+// they observe ok == false and retry the computation themselves rather
+// than caching a poisoned entry.
+func (c *Cache[V]) lead(sh *shard[V], key string, cl *call[V], compute func() V) (V, bool) {
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		if cl.ok {
+			sh.insert(key, cl.val, &c.evictions)
+		}
+		sh.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.val = compute()
+	cl.ok = true
+	return cl.val, false
+}
+
+// insert stores key at the front of the shard's LRU order, evicting
+// from the back past capacity. Caller holds sh.mu.
+func (sh *shard[V]) insert(key string, v V, evictions *atomic.Int64) {
+	if el, ok := sh.entries[key]; ok {
+		el.Value.(*lruEntry[V]).val = v
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.entries[key] = sh.order.PushFront(&lruEntry[V]{key: key, val: v})
+	for sh.order.Len() > sh.cap {
+		back := sh.order.Back()
+		sh.order.Remove(back)
+		delete(sh.entries, back.Value.(*lruEntry[V]).key)
+		evictions.Add(1)
+	}
+}
+
+// Len returns the number of stored entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Do calls that did not run compute: entries served
+	// from storage plus waiters that shared a completed in-flight
+	// computation.
+	Hits int64
+	// Misses counts Do calls that ran compute (in-flight leaders).
+	Misses int64
+	// Waits counts Do calls that blocked on another caller's in-flight
+	// computation; each such call is also counted in Hits once the
+	// leader succeeds.
+	Waits int64
+	// Evictions counts entries dropped by the per-shard LRU bound.
+	Evictions int64
+}
+
+// Stats snapshots the cache counters. The counters are read
+// individually, so a snapshot taken under concurrent use is internally
+// consistent only approximately.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Waits:     c.waits.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// shardIndex is FNV-1a over the key bytes, inlined to avoid a hasher
+// allocation per lookup.
+func shardIndex(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}

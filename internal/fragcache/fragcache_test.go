@@ -1,0 +1,261 @@
+package fragcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New[int](8)
+	calls := 0
+	compute := func() int { calls++; return 42 }
+	v, hit := c.Do("k", compute)
+	if v != 42 || hit {
+		t.Fatalf("first Do: v=%d hit=%v", v, hit)
+	}
+	v, hit = c.Do("k", compute)
+	if v != 42 || !hit {
+		t.Fatalf("second Do: v=%d hit=%v", v, hit)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Waits != 0 || st.Evictions != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestDistinctKeysDistinctValues(t *testing.T) {
+	c := New[string](64)
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := fmt.Sprintf("val-%d", i)
+		if v, _ := c.Do(key, func() string { return want }); v != want {
+			t.Fatalf("%s: got %q", key, v)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := fmt.Sprintf("val-%d", i)
+		v, hit := c.Do(key, func() string { t.Fatalf("%s recomputed", key); return "" })
+		if !hit || v != want {
+			t.Fatalf("%s: hit=%v v=%q", key, hit, v)
+		}
+	}
+}
+
+func TestCapacityBoundAndEviction(t *testing.T) {
+	capacity := 32
+	c := New[int](capacity)
+	n := 100 * capacity
+	for i := 0; i < n; i++ {
+		c.Do(fmt.Sprintf("key-%d", i), func() int { return i })
+	}
+	// Capacity is enforced per shard: ceil(32/16) = 2 entries per shard.
+	perShard := (capacity + numShards - 1) / numShards
+	if got, bound := c.Len(), perShard*numShards; got > bound {
+		t.Fatalf("Len = %d exceeds bound %d", got, bound)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after overfilling")
+	}
+	if st.Evictions+int64(c.Len()) != int64(n) {
+		t.Fatalf("evictions %d + len %d != inserted %d", st.Evictions, c.Len(), n)
+	}
+}
+
+func TestLRUKeepsRecentlyUsed(t *testing.T) {
+	// One shard (capacity ≤ numShards rounds to 1 per shard); use keys
+	// that land in the same shard by brute-force search.
+	c := New[int](numShards * 2) // 2 entries per shard
+	shardOf := func(k string) uint64 { return shardIndex(k) % numShards }
+	var same []string
+	for i := 0; len(same) < 3; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if shardOf(k) == 0 {
+			same = append(same, k)
+		}
+	}
+	a, b, d := same[0], same[1], same[2]
+	c.Do(a, func() int { return 1 })
+	c.Do(b, func() int { return 2 })
+	c.Do(a, func() int { return 0 }) // touch a: b becomes LRU
+	c.Do(d, func() int { return 3 }) // evicts b
+	if _, hit := c.Do(a, func() int { return -1 }); !hit {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, hit := c.Do(b, func() int { return -2 }); hit {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := New[int](8)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	hits := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], hits[i] = c.Do("shared", func() int {
+				computes.Add(1)
+				once.Do(func() { close(started) })
+				<-release
+				return 7
+			})
+		}(i)
+	}
+	<-started
+	// Wait until every non-leader is blocked on the in-flight call, then
+	// release the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Waits < waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters after 5s", c.Stats().Waits)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under singleflight", got)
+	}
+	nHits := 0
+	for i := range results {
+		if results[i] != 7 {
+			t.Fatalf("goroutine %d got %d", i, results[i])
+		}
+		if hits[i] {
+			nHits++
+		}
+	}
+	if nHits != waiters-1 {
+		t.Fatalf("%d hits for %d waiters", nHits, waiters)
+	}
+}
+
+func TestPanickingComputeDoesNotPoison(t *testing.T) {
+	c := New[int](8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed")
+			}
+		}()
+		c.Do("k", func() int { panic("boom") })
+	}()
+	// The failed computation must not be cached and must not deadlock
+	// later callers.
+	v, hit := c.Do("k", func() int { return 5 })
+	if hit || v != 5 {
+		t.Fatalf("after panic: v=%d hit=%v", v, hit)
+	}
+}
+
+func TestWaiterRetriesAfterLeaderPanic(t *testing.T) {
+	c := New[int](8)
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: panics after the waiter has queued up
+		defer wg.Done()
+		defer func() { recover() }()
+		c.Do("k", func() int {
+			close(entered)
+			<-proceed
+			panic("leader dies")
+		})
+	}()
+
+	<-entered
+	var v int
+	var hit bool
+	wg.Add(1)
+	go func() { // waiter
+		defer wg.Done()
+		v, hit = c.Do("k", func() int { return 9 })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Waits < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(proceed)
+	wg.Wait()
+	if v != 9 || hit {
+		t.Fatalf("waiter after leader panic: v=%d hit=%v (want recomputed miss)", v, hit)
+	}
+}
+
+// TestConcurrentHammer drives many goroutines over an overlapping
+// keyspace with evictions in play; run with -race this exercises every
+// lock path. Values are derived from keys so any cross-key confusion is
+// detected.
+func TestConcurrentHammer(t *testing.T) {
+	c := New[int](24) // small: forces constant eviction
+	const goroutines = 8
+	const opsPerG = 2000
+	const keys = 64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for op := 0; op < opsPerG; op++ {
+				k := rng.Intn(keys)
+				key := fmt.Sprintf("key-%d", k)
+				v, _ := c.Do(key, func() int { return k * 3 })
+				if v != k*3 {
+					t.Errorf("key %d returned %d", k, v)
+					return
+				}
+				if op%128 == 0 {
+					c.Len()
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines*opsPerG {
+		t.Fatalf("hits %d + misses %d != %d ops", st.Hits, st.Misses, goroutines*opsPerG)
+	}
+}
+
+func TestTinyAndZeroCapacity(t *testing.T) {
+	for _, capacity := range []int{-5, 0, 1} {
+		c := New[int](capacity)
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if v, _ := c.Do(key, func() int { return i }); v != i {
+				t.Fatalf("cap %d: key %s got %d", capacity, key, v)
+			}
+		}
+		if c.Len() > numShards {
+			t.Fatalf("cap %d: len %d exceeds one entry per shard", capacity, c.Len())
+		}
+	}
+}

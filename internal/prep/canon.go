@@ -1,0 +1,75 @@
+package prep
+
+// Canonical fragment form and fingerprint. After Decompose translates
+// every fragment to a zero-based origin, fragments arising from
+// different instances (or different places in one instance) that
+// contain the same multiset of job windows on the same processor count
+// become byte-identical once job order is normalized. That is what
+// makes fragment solutions cacheable across a batch: the facade's
+// fragment cache is keyed by CanonicalKey of the Canonicalize'd
+// fragment.
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Canonicalize returns a canonical form of an instance — the same jobs
+// sorted by (Release, Deadline) — together with the permutation mapping
+// canonical positions back to input positions:
+//
+//	canon.Jobs[i] == in.Jobs[perm[i]]
+//
+// A schedule of the canonical instance converts to a schedule of the
+// input by routing slot i to slot perm[i]; the job windows agree
+// position by position, so validity and cost are preserved. Two
+// instances with equal job multisets and processor counts share one
+// canonical form.
+func Canonicalize(in sched.Instance) (canon sched.Instance, perm []int) {
+	perm = make([]int, len(in.Jobs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		a, b := in.Jobs[perm[x]], in.Jobs[perm[y]]
+		if a.Release != b.Release {
+			return a.Release < b.Release
+		}
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		return perm[x] < perm[y]
+	})
+	jobs := make([]sched.Job, len(in.Jobs))
+	for i, j := range perm {
+		jobs[i] = in.Jobs[j]
+	}
+	return sched.Instance{Jobs: jobs, Procs: in.Procs}, perm
+}
+
+// CanonicalKey encodes a canonicalized instance plus the caller's
+// objective context into a compact byte string usable as an exact cache
+// key: equal keys hold exactly when the canonical instances, tags, and
+// alphas are all equal, so a cache keyed by it can never conflate two
+// different subproblems. tag distinguishes objectives; alpha is the
+// power transition cost (callers should pass 0 for objectives that
+// ignore it, so irrelevant alphas do not fragment the key space).
+//
+// The instance must already be in canonical job order (Canonicalize);
+// the key is order-sensitive by design, since varint delta coding of an
+// unsorted job list would not be canonical.
+func CanonicalKey(canon sched.Instance, tag byte, alpha float64) string {
+	buf := make([]byte, 0, 20+2*binary.MaxVarintLen64*len(canon.Jobs))
+	buf = append(buf, tag)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(alpha))
+	buf = binary.AppendVarint(buf, int64(canon.Procs))
+	buf = binary.AppendUvarint(buf, uint64(len(canon.Jobs)))
+	for _, j := range canon.Jobs {
+		buf = binary.AppendVarint(buf, int64(j.Release))
+		buf = binary.AppendVarint(buf, int64(j.Deadline))
+	}
+	return string(buf)
+}

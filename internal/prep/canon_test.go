@@ -1,0 +1,103 @@
+package prep
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestCanonicalizeSortsAndMapsBack(t *testing.T) {
+	in := sched.Instance{Procs: 2, Jobs: []sched.Job{
+		{Release: 5, Deadline: 9},
+		{Release: 0, Deadline: 3},
+		{Release: 5, Deadline: 6},
+		{Release: 0, Deadline: 3},
+	}}
+	canon, perm := Canonicalize(in)
+	if canon.Procs != in.Procs || len(canon.Jobs) != len(in.Jobs) || len(perm) != len(in.Jobs) {
+		t.Fatalf("canonical shape wrong: %+v perm %v", canon, perm)
+	}
+	for i := 1; i < len(canon.Jobs); i++ {
+		a, b := canon.Jobs[i-1], canon.Jobs[i]
+		if a.Release > b.Release || (a.Release == b.Release && a.Deadline > b.Deadline) {
+			t.Fatalf("canonical jobs not sorted: %v", canon.Jobs)
+		}
+	}
+	seen := make([]bool, len(in.Jobs))
+	for i, j := range perm {
+		if seen[j] {
+			t.Fatalf("perm %v is not a permutation", perm)
+		}
+		seen[j] = true
+		if canon.Jobs[i] != in.Jobs[j] {
+			t.Fatalf("canon.Jobs[%d]=%v but in.Jobs[perm[%d]]=%v", i, canon.Jobs[i], i, in.Jobs[j])
+		}
+	}
+}
+
+func TestCanonicalKeyInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := []sched.Job{
+		{Release: 0, Deadline: 4}, {Release: 1, Deadline: 3}, {Release: 2, Deadline: 2},
+		{Release: 2, Deadline: 6}, {Release: 0, Deadline: 4},
+	}
+	want := ""
+	for trial := 0; trial < 20; trial++ {
+		jobs := make([]sched.Job, len(base))
+		copy(jobs, base)
+		rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+		canon, _ := Canonicalize(sched.Instance{Jobs: jobs, Procs: 2})
+		key := CanonicalKey(canon, 0, 0)
+		if trial == 0 {
+			want = key
+		} else if key != want {
+			t.Fatalf("trial %d: permuted instance changed the canonical key", trial)
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishesContext(t *testing.T) {
+	canon, _ := Canonicalize(sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 2}}, Procs: 1})
+	base := CanonicalKey(canon, 0, 0)
+	if CanonicalKey(canon, 1, 0) == base {
+		t.Fatal("objective tag not part of the key")
+	}
+	if CanonicalKey(canon, 0, 2.5) == base {
+		t.Fatal("alpha not part of the key")
+	}
+	other := canon
+	other.Procs = 2
+	if CanonicalKey(other, 0, 0) == base {
+		t.Fatal("processor count not part of the key")
+	}
+	grown := sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 2}, {Release: 0, Deadline: 2}}, Procs: 1}
+	if CanonicalKey(grown, 0, 0) == base {
+		t.Fatal("job count not part of the key")
+	}
+}
+
+func TestDecomposedDuplicateClustersShareAKey(t *testing.T) {
+	// Three identical job clusters far apart on the absolute timeline:
+	// after Decompose's translation every fragment must canonicalize to
+	// the same key, which is what lets a fragment cache dedupe them.
+	var jobs []sched.Job
+	for _, base := range []int{3, 1000, 54321} {
+		jobs = append(jobs,
+			sched.Job{Release: base + 2, Deadline: base + 5},
+			sched.Job{Release: base, Deadline: base + 1},
+		)
+	}
+	pl := ForGaps(sched.Instance{Jobs: jobs, Procs: 1})
+	if len(pl.Subs) != 3 {
+		t.Fatalf("expected 3 fragments, got %d", len(pl.Subs))
+	}
+	keys := make(map[string]bool)
+	for _, sub := range pl.Subs {
+		canon, _ := Canonicalize(sub.Instance)
+		keys[CanonicalKey(canon, 0, 0)] = true
+	}
+	if len(keys) != 1 {
+		t.Fatalf("identical clusters produced %d distinct keys", len(keys))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fragcache"
 	"repro/internal/prep"
 	"repro/internal/sched"
 )
@@ -35,9 +36,10 @@ func (o Objective) String() string {
 
 // Solver is the configured entry point to the exact solving pipeline:
 // preprocessing (instance decomposition and coordinate compression, see
-// internal/prep), the unified DP engine (internal/core), and — for
-// SolveBatch — a bounded worker pool. The zero value minimizes gaps
-// with preprocessing enabled.
+// internal/prep), the unified DP engine (internal/core), an optional
+// canonical-fragment solution cache, and — for SolveBatch — a bounded
+// worker pool fed at fragment granularity. The zero value minimizes
+// gaps with preprocessing enabled and no cache.
 type Solver struct {
 	// Objective selects the cost model. Default: ObjectiveGaps.
 	Objective Objective
@@ -51,6 +53,17 @@ type Solver struct {
 	// Workers bounds SolveBatch concurrency. Zero or negative means
 	// GOMAXPROCS.
 	Workers int
+	// CacheSize, when positive and Cache is nil, gives each SolveBatch
+	// call a transient fragment cache with roughly that capacity, so
+	// duplicate fragments within one batch are solved once. Zero or
+	// negative disables the transient cache.
+	CacheSize int
+	// Cache, when non-nil, is a persistent canonical-fragment solution
+	// cache consulted by both Solve and SolveBatch and shared across
+	// calls (and across Solvers — entries are keyed by objective and
+	// alpha, so differently configured Solvers can share one cache).
+	// Takes precedence over CacheSize.
+	Cache *FragmentCache
 }
 
 // Solution is the unified outcome of a Solver run.
@@ -67,99 +80,254 @@ type Solution struct {
 	// Schedule is an optimal schedule for the configured objective.
 	Schedule Schedule
 	// States counts memoized DP subproblems, summed over sub-instances:
-	// the effective size of the exact computation.
+	// the effective size of the exact computation. Fragments served
+	// from the cache report the states their solve cost when it ran, so
+	// the count is independent of cache hits.
 	States int
 	// Subinstances is the number of independent fragments the prep
 	// layer solved (1 when preprocessing is off or nothing splits, 0
 	// for the empty instance).
 	Subinstances int
+	// CacheHits counts the fragments of this instance that were served
+	// from the fragment cache (including waits on another worker's
+	// in-flight solve of the same fragment). Always 0 when no cache is
+	// configured.
+	CacheHits int
 }
 
-// Solve runs the configured pipeline on one instance.
-func (s Solver) Solve(in Instance) (Solution, error) {
+// FragmentCache is a sharded, bounded (LRU per shard) cache of
+// canonical-fragment solutions with in-flight deduplication: concurrent
+// solves of identical fragments are performed once. It is safe for
+// concurrent use and may be shared across Solvers and batches; entries
+// are keyed by the fragment's canonical form plus objective and alpha
+// (see internal/prep.CanonicalKey), so a hit is always an exact match.
+type FragmentCache struct {
+	c *fragcache.Cache[fragSolution]
+}
+
+// NewFragmentCache builds a fragment cache holding at most about
+// capacity fragment solutions (the bound is enforced per shard, so it
+// is approximate; see internal/fragcache).
+func NewFragmentCache(capacity int) *FragmentCache {
+	return &FragmentCache{c: fragcache.New[fragSolution](capacity)}
+}
+
+// CacheStats snapshots a FragmentCache's effectiveness counters.
+type CacheStats = fragcache.Stats
+
+// Stats snapshots the cache counters accumulated over every solve that
+// used this cache.
+func (fc *FragmentCache) Stats() CacheStats { return fc.c.Stats() }
+
+// Len returns the number of fragment solutions currently stored.
+func (fc *FragmentCache) Len() int { return fc.c.Len() }
+
+// fragSolution is one cached canonical-fragment outcome. The schedule
+// is in canonical job order; err is typically ErrInfeasible (infeasible
+// fragments are cached too, so repeated infeasible duplicates do not
+// re-run the feasibility machinery).
+type fragSolution struct {
+	cost     float64
+	schedule sched.Schedule
+	states   int
+	err      error
+}
+
+// objectiveRuntime binds the objective-specific pieces of the pipeline
+// after the configuration has been validated once: how to decompose an
+// instance, how to solve one fragment, and how to interpret the
+// accumulated cost. Sharing it between Solve and SolveBatch is what
+// makes their validation and results uniform.
+type objectiveRuntime struct {
+	tag       byte // cache-key objective tag
+	alpha     float64
+	plan      func(sched.Instance) *prep.Plan
+	solveFrag func(sched.Instance) (float64, sched.Schedule, int, error)
+	finish    func(*Solution, float64)
+}
+
+// runtime validates the Solver configuration — Alpha and Objective —
+// in one place, so Solve and SolveBatch report identical errors for
+// identical misconfigurations regardless of objective path.
+func (s Solver) runtime() (objectiveRuntime, error) {
+	if s.Alpha < 0 {
+		return objectiveRuntime{}, fmt.Errorf("gapsched: negative transition cost alpha %v", s.Alpha)
+	}
 	switch s.Objective {
 	case ObjectiveGaps:
-		return s.solveGaps(in)
+		return objectiveRuntime{
+			tag:  byte(ObjectiveGaps),
+			plan: prep.ForGaps,
+			solveFrag: func(fr sched.Instance) (float64, sched.Schedule, int, error) {
+				res, err := core.SolveGaps(fr)
+				return float64(res.Spans), res.Schedule, res.States, err
+			},
+			finish: func(sol *Solution, cost float64) {
+				sol.Spans = int(cost)
+				sol.Gaps = max(sol.Spans-1, 0)
+			},
+		}, nil
 	case ObjectivePower:
-		return s.solvePower(in)
-	default:
-		return Solution{}, fmt.Errorf("gapsched: unknown objective %v", s.Objective)
+		alpha := s.Alpha
+		return objectiveRuntime{
+			tag:   byte(ObjectivePower),
+			alpha: alpha,
+			plan:  func(in sched.Instance) *prep.Plan { return prep.ForPower(in, alpha) },
+			solveFrag: func(fr sched.Instance) (float64, sched.Schedule, int, error) {
+				res, err := core.SolvePower(fr, alpha)
+				return res.Power, res.Schedule, res.States, err
+			},
+			finish: func(sol *Solution, cost float64) {
+				sol.Power = cost
+				sol.Spans = sol.Schedule.Spans()
+				sol.Gaps = max(sol.Spans-1, 0)
+			},
+		}, nil
 	}
+	return objectiveRuntime{}, fmt.Errorf("gapsched: unknown objective %v", s.Objective)
 }
 
-func (s Solver) solveGaps(in Instance) (Solution, error) {
-	cost, sol, err := s.pipeline(in, prep.ForGaps, func(fr sched.Instance) (float64, sched.Schedule, int, error) {
-		res, err := core.SolveGaps(fr)
-		return float64(res.Spans), res.Schedule, res.States, err
-	})
-	if err != nil {
-		return Solution{}, err
-	}
-	sol.Spans = int(cost)
-	sol.Gaps = max(sol.Spans-1, 0)
-	return sol, nil
+// fragResult is the outcome of solving one fragment, in the fragment's
+// own job order.
+type fragResult struct {
+	cost     float64
+	schedule sched.Schedule
+	states   int
+	hit      bool
+	err      error
 }
 
-func (s Solver) solvePower(in Instance) (Solution, error) {
-	if s.Alpha < 0 {
-		return Solution{}, fmt.Errorf("gapsched: negative transition cost alpha %v", s.Alpha)
-	}
-	plan := func(in sched.Instance) *prep.Plan { return prep.ForPower(in, s.Alpha) }
-	cost, sol, err := s.pipeline(in, plan, func(fr sched.Instance) (float64, sched.Schedule, int, error) {
-		res, err := core.SolvePower(fr, s.Alpha)
-		return res.Power, res.Schedule, res.States, err
-	})
-	if err != nil {
-		return Solution{}, err
-	}
-	sol.Power = cost
-	sol.Spans = sol.Schedule.Spans()
-	sol.Gaps = max(sol.Spans-1, 0)
-	return sol, nil
+// preparedInstance is one instance after the prep phase: its fragments
+// ready to solve (each independently) and slots for their results. For
+// NoPreprocess the whole raw instance is the single "fragment".
+type preparedInstance struct {
+	in      Instance
+	plan    *prep.Plan // nil when NoPreprocess
+	frags   []sched.Instance
+	err     error // validation error; no fragments when set
+	results []fragResult
+	// failed is set once any fragment errors, so batch workers skip the
+	// instance's remaining fragments instead of solving results that
+	// finishInstance will discard. Skipping cannot change which error
+	// is reported: fragments of a validated instance only ever fail
+	// with ErrInfeasible, so the first error in fragment order is the
+	// same error regardless of which fragments actually ran.
+	failed atomic.Bool
 }
 
-// pipeline is the objective-independent half of Solve: decompose with
-// the prep layer (unless NoPreprocess), solve every fragment with
-// solveSub, accumulate cost and states, and reassemble a schedule of
-// the original instance. The objective-specific entry points interpret
-// the accumulated cost.
-func (s Solver) pipeline(
-	in Instance,
-	plan func(sched.Instance) *prep.Plan,
-	solveSub func(sched.Instance) (float64, sched.Schedule, int, error),
-) (float64, Solution, error) {
+// prepare runs the prep phase for one instance.
+func (s Solver) prepare(in Instance, rt objectiveRuntime) *preparedInstance {
+	p := &preparedInstance{in: in}
 	if s.NoPreprocess {
-		cost, schedule, states, err := solveSub(in)
-		if err != nil {
-			return 0, Solution{}, err
+		p.frags = []sched.Instance{in}
+	} else {
+		if err := in.Validate(); err != nil {
+			p.err = err
+			return p
 		}
-		return cost, Solution{Schedule: schedule, States: states, Subinstances: 1}, nil
+		p.plan = rt.plan(in)
+		p.frags = make([]sched.Instance, len(p.plan.Subs))
+		for i, sub := range p.plan.Subs {
+			p.frags[i] = sub.Instance
+		}
 	}
-	if err := in.Validate(); err != nil {
-		return 0, Solution{}, err
+	p.results = make([]fragResult, len(p.frags))
+	return p
+}
+
+// solveFragment solves one fragment, through the cache when one is
+// configured. Cached solves run on the canonical form of the fragment
+// (jobs sorted in compressed coordinates) and the stored schedule is
+// mapped back through the canonicalization permutation, so a hit
+// returns a schedule of the fragment as given.
+func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sched.Instance) fragResult {
+	if cache == nil {
+		cost, schedule, states, err := rt.solveFrag(fr)
+		return fragResult{cost: cost, schedule: schedule, states: states, err: err}
 	}
-	pl := plan(in)
-	sol := Solution{Subinstances: len(pl.Subs)}
-	parts := make([]sched.Schedule, len(pl.Subs))
+	canon, perm := prep.Canonicalize(fr)
+	key := prep.CanonicalKey(canon, rt.tag, rt.alpha)
+	val, hit := cache.c.Do(key, func() fragSolution {
+		cost, schedule, states, err := rt.solveFrag(canon)
+		return fragSolution{cost: cost, schedule: schedule, states: states, err: err}
+	})
+	res := fragResult{cost: val.cost, states: val.states, hit: hit, err: val.err}
+	if val.err == nil {
+		// Canonical job i is fragment job perm[i]; their windows agree,
+		// so rerouting the slots yields a valid fragment schedule. The
+		// cached slice is shared and read-only; build a fresh one.
+		slots := make([]sched.Assignment, len(val.schedule.Slots))
+		for i, a := range val.schedule.Slots {
+			slots[perm[i]] = a
+		}
+		res.schedule = sched.Schedule{Procs: val.schedule.Procs, Slots: slots}
+	}
+	return res
+}
+
+// finishInstance folds per-fragment results (all of which must be
+// populated unless a fragment errored, after which siblings may be
+// zero-value placeholders) into one Solution: costs and
+// states accumulate in fragment order — fixed summation order keeps
+// float results bit-identical no matter which workers solved what —
+// and the fragment schedules are reassembled onto the original
+// instance. The first error in fragment order wins, matching a
+// sequential solve exactly.
+func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Solution, error) {
+	if p.err != nil {
+		return Solution{}, p.err
+	}
+	sol := Solution{Subinstances: len(p.frags)}
+	parts := make([]sched.Schedule, len(p.frags))
 	cost := 0.0
-	for i, sub := range pl.Subs {
-		c, schedule, states, err := solveSub(sub.Instance)
-		if err != nil {
-			return 0, Solution{}, err
+	for i := range p.results {
+		r := &p.results[i]
+		if r.err != nil {
+			return Solution{}, r.err
 		}
-		cost += c
-		sol.States += states
-		parts[i] = schedule
+		cost += r.cost
+		sol.States += r.states
+		if r.hit {
+			sol.CacheHits++
+		}
+		parts[i] = r.schedule
 	}
-	schedule, err := pl.Assemble(parts)
+	if p.plan == nil {
+		sol.Schedule = parts[0]
+	} else {
+		schedule, err := p.plan.Assemble(parts)
+		if err != nil {
+			return Solution{}, err
+		}
+		if err := schedule.Validate(p.in); err != nil {
+			return Solution{}, err
+		}
+		sol.Schedule = schedule
+	}
+	rt.finish(&sol, cost)
+	return sol, nil
+}
+
+// Solve runs the configured pipeline on one instance. It consults
+// s.Cache when set (a transient CacheSize cache is a batch-level
+// feature and does not apply here).
+func (s Solver) Solve(in Instance) (Solution, error) {
+	rt, err := s.runtime()
 	if err != nil {
-		return 0, Solution{}, err
+		return Solution{}, err
 	}
-	if err := schedule.Validate(in); err != nil {
-		return 0, Solution{}, err
+	return s.solveOne(in, rt, s.Cache)
+}
+
+func (s Solver) solveOne(in Instance, rt objectiveRuntime, cache *FragmentCache) (Solution, error) {
+	p := s.prepare(in, rt)
+	for i, fr := range p.frags {
+		p.results[i] = s.solveFragment(rt, cache, fr)
+		if p.results[i].err != nil {
+			break // finishInstance reports the first error in order
+		}
 	}
-	sol.Schedule = schedule
-	return cost, sol, nil
+	return s.finishInstance(p, rt)
 }
 
 // BatchResult pairs one instance's Solution with its error; exactly one
@@ -169,21 +337,72 @@ type BatchResult struct {
 	Err      error
 }
 
+// task addresses one fragment in the flattened batch work queue.
+type task struct {
+	inst, frag int
+}
+
 // SolveBatch solves every instance with the configured pipeline,
-// fanning the work across a worker pool bounded by Workers (default
-// GOMAXPROCS). Results align positionally with ins. Instances are
-// independent; a failure in one does not disturb the others.
+// distributing work across a pool bounded by Workers (default
+// GOMAXPROCS) at *fragment* granularity: all instances are preprocessed
+// up front, their fragments flattened into one work queue, and each
+// instance's solution assembled as its last fragment completes. A
+// skewed instance therefore cannot serialize the batch behind one
+// worker, and — when a cache is configured via Cache or CacheSize —
+// identical fragments recurring across the batch are solved once.
+//
+// Results align positionally with ins and are identical to per-instance
+// Solve calls (first-error semantics and bit-exact costs included),
+// independent of Workers and of cache configuration — except CacheHits,
+// whose attribution across instances depends on which worker reaches a
+// duplicate fragment first (and on CacheSize, which Solve ignores).
+// Instances are independent; a failure in one does not disturb the
+// others.
 func (s Solver) SolveBatch(ins []Instance) []BatchResult {
 	out := make([]BatchResult, len(ins))
 	if len(ins) == 0 {
 		return out
 	}
+	rt, err := s.runtime()
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	cache := s.Cache
+	if cache == nil && s.CacheSize > 0 {
+		cache = NewFragmentCache(s.CacheSize)
+	}
+
+	// Prep phase: decompose every instance, flatten the fragments.
+	prepped := make([]*preparedInstance, len(ins))
+	queue := make([]task, 0, len(ins))
+	for i, in := range ins {
+		prepped[i] = s.prepare(in, rt)
+		for f := range prepped[i].frags {
+			queue = append(queue, task{inst: i, frag: f})
+		}
+	}
+
+	// Instances with nothing to solve (validation failures, empty
+	// plans) finish immediately; the rest finish when their fragment
+	// counter drains.
+	remaining := make([]atomic.Int32, len(ins))
+	for i, p := range prepped {
+		if len(p.frags) == 0 {
+			out[i].Solution, out[i].Err = s.finishInstance(p, rt)
+		} else {
+			remaining[i].Store(int32(len(p.frags)))
+		}
+	}
+
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ins) {
-		workers = len(ins)
+	if workers > len(queue) {
+		workers = len(queue)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -192,11 +411,25 @@ func (s Solver) SolveBatch(ins []Instance) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ins) {
+				qi := int(next.Add(1)) - 1
+				if qi >= len(queue) {
 					return
 				}
-				out[i].Solution, out[i].Err = s.Solve(ins[i])
+				tk := queue[qi]
+				p := prepped[tk.inst]
+				if !p.failed.Load() {
+					res := s.solveFragment(rt, cache, p.frags[tk.frag])
+					p.results[tk.frag] = res
+					if res.err != nil {
+						p.failed.Store(true)
+					}
+				}
+				// The worker that drains the counter observes every
+				// sibling fragment's result (atomic Add orders the
+				// writes) and assembles the instance.
+				if remaining[tk.inst].Add(-1) == 0 {
+					out[tk.inst].Solution, out[tk.inst].Err = s.finishInstance(p, rt)
+				}
 			}
 		}()
 	}
