@@ -1,0 +1,184 @@
+// Command benchcmp is the CI bench-regression gate: a benchstat-style
+// comparison of `go test -bench` output against a committed baseline
+// (BENCH_BASELINE.json at the repository root). It is deliberately
+// warn-only — one-shot (-benchtime=1x) timings on shared CI runners
+// are noisy, so regressions surface as GitHub warning annotations
+// instead of failures; treating them as signals, not verdicts, keeps
+// the job honest without flaking the build.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -count=3 . | benchcmp -baseline BENCH_BASELINE.json
+//	go test -run='^$' -bench=. -benchtime=1x -count=3 . | benchcmp -baseline BENCH_BASELINE.json -update
+//
+// Multiple -count runs of one benchmark are folded to their minimum
+// ns/op (the least-noise estimator for one-shot runs); the trailing
+// -N GOMAXPROCS suffix is stripped so baselines compare across
+// machines. Exit status: 0 on success (warnings included), 1 on I/O or
+// parse failures, 2 on command-line errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/cli"
+)
+
+// baselineFile is the committed JSON schema.
+type baselineFile struct {
+	// Note documents how the numbers were produced.
+	Note string `json:"note"`
+	// Benchmarks maps normalized benchmark names to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iteration count, ns/op value (further metric pairs ignored).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+// gomaxprocsSuffix is the trailing -N that `go test` appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench folds bench output into min ns/op per normalized name.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchcmp: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("benchcmp: no benchmark results in input")
+	}
+	return out, nil
+}
+
+func sortedNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// compare prints a benchstat-style report and GitHub warning
+// annotations for regressions beyond threshold percent. It returns the
+// number of regressions (informational; the caller stays warn-only).
+func compare(baseline, current map[string]float64, threshold float64, stdout io.Writer) int {
+	regressions := 0
+	fmt.Fprintf(stdout, "%-55s %12s %12s %8s\n", "benchmark", "baseline", "current", "delta")
+	for _, name := range sortedNames(current) {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-55s %12s %12.0f %8s\n", name, "(new)", cur, "-")
+			continue
+		}
+		delta := 100 * (cur - base) / base
+		mark := ""
+		if delta > threshold {
+			mark = "  ← regression"
+			regressions++
+			fmt.Fprintf(stdout, "::warning title=bench regression::%s is %.0f%% slower than BENCH_BASELINE.json (%.0f → %.0f ns/op)\n",
+				name, delta, base, cur)
+		}
+		fmt.Fprintf(stdout, "%-55s %12.0f %12.0f %+7.1f%%%s\n", name, base, cur, delta, mark)
+	}
+	for _, name := range sortedNames(baseline) {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(stdout, "::warning title=bench missing::%s is in BENCH_BASELINE.json but produced no result\n", name)
+			fmt.Fprintf(stdout, "%-55s %12.0f %12s %8s\n", name, baseline[name], "(gone)", "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed more than %.0f%% (warn-only; see annotations)\n", regressions, threshold)
+	}
+	return regressions
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
+		input        = fs.String("input", "-", "bench output to read (- for stdin)")
+		threshold    = fs.Float64("threshold", 20, "warn when ns/op grows more than this percent")
+		update       = fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+		note         = fs.String("note", "go test -run='^$' -bench=. -benchtime=1x -count=3 . (min of 3)", "provenance note stored with -update")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return cli.Status(err)
+	}
+
+	in := stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 1
+	}
+
+	if *update {
+		buf, err := json.MarshalIndent(baselineFile{Note: *note, Benchmarks: current}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return 0
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 1
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchcmp: parsing %s: %v\n", *baselinePath, err)
+		return 1
+	}
+	compare(base.Benchmarks, current, *threshold, stdout)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE1_MultiprocExact/n=12-16         1    250000 ns/op    245 states/op
+BenchmarkE1_MultiprocExact/n=12-16         1    200000 ns/op    245 states/op
+BenchmarkE1_MultiprocExact/n=12-16         1    300000 ns/op    245 states/op
+BenchmarkE16_BatchSolve/gaps-16            1   1000000 ns/op
+PASS
+`
+
+func TestParseBenchTakesMinAndStripsSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if ns := got["BenchmarkE1_MultiprocExact/n=12"]; ns != 200000 {
+		t.Errorf("min ns/op = %v, want 200000", ns)
+	}
+	if _, ok := got["BenchmarkE16_BatchSolve/gaps"]; !ok {
+		t.Errorf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("accepted input with no benchmarks")
+	}
+}
+
+func TestCompareFlagsRegressionsNewAndMissing(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkStable":  1000,
+		"BenchmarkSlower":  1000,
+		"BenchmarkRemoved": 1000,
+	}
+	current := map[string]float64{
+		"BenchmarkStable": 1100, // +10%: under threshold
+		"BenchmarkSlower": 1500, // +50%: regression
+		"BenchmarkNew":    42,
+	}
+	var out bytes.Buffer
+	if n := compare(baseline, current, 20, &out); n != 1 {
+		t.Fatalf("compare found %d regressions, want 1:\n%s", n, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"::warning title=bench regression::BenchmarkSlower",
+		"::warning title=bench missing::BenchmarkRemoved",
+		"(new)",
+		"← regression",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "::warning title=bench regression::BenchmarkStable") {
+		t.Errorf("under-threshold delta flagged:\n%s", text)
+	}
+}
+
+// End-to-end: -update writes a baseline that a subsequent comparison
+// of the same input reads back with zero regressions; warn-only means
+// exit 0 even when a regression is present.
+func TestRunUpdateThenCompare(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "BENCH_BASELINE.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("update exited %d: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	code = run([]string{"-baseline", baseline},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("compare exited %d: %s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "::warning") {
+		t.Fatalf("identical input produced warnings:\n%s", stdout.String())
+	}
+
+	// 10x slower input: warn, still exit 0.
+	slower := strings.ReplaceAll(sampleBench, "1000000 ns/op", "9999999 ns/op")
+	slower = strings.ReplaceAll(slower, "0000 ns/op", "00000 ns/op")
+	stdout.Reset()
+	code = run([]string{"-baseline", baseline},
+		strings.NewReader(slower), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("regressed compare exited %d, want 0 (warn-only): %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "::warning title=bench regression::") {
+		t.Fatalf("regression not flagged:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadCommandLines(t *testing.T) {
+	for _, args := range [][]string{{"-bogus"}, {"positional"}} {
+		if code := run(args, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); code != 2 {
+			t.Errorf("benchcmp %v exited %d, want 2", args, code)
+		}
+	}
+	if code := run(nil, strings.NewReader("PASS"), &bytes.Buffer{}, &bytes.Buffer{}); code != 1 {
+		t.Error("empty input should exit 1")
+	}
+}

@@ -1,0 +1,200 @@
+package main
+
+// Experiment E18: the scheduling daemon's request coalescer under
+// open-loop load. A generator fires independent /v1/solve requests at
+// a fixed arrival rate — duplicate-heavy, drawn from a small pool of
+// distinct bursty instances, the paper's recurring device-traffic
+// pattern — against two live HTTP servers:
+//
+//   - per-request: no coalescing window, no cache — every request is
+//     solved in isolation, the way a naive service would wrap Solve.
+//   - coalesced: requests arriving within a short window are dispatched
+//     as one fragment-level SolveBatch over a shared fragment cache, so
+//     independent clients hit each other's canonical fragments.
+//
+// The table reports drain wall-clock, throughput, dispatch counts,
+// cache hit rate, and — the correctness invariant — that every served
+// cost is bit-identical to a direct Solve of the same instance.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	gapsched "repro"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E18", "Service coalescing under open-loop load", runE18)
+}
+
+// e18Workload is a duplicate-heavy open-loop request sequence: nReq
+// requests over a pool of distinct instances, alternating between the
+// gaps and power objectives, with the exact per-request reference
+// costs from direct Solve calls.
+type e18Workload struct {
+	reqs []sched.SolveRequest
+	want []float64 // reference cost per request (spans or power)
+}
+
+func e18MakeWorkload(seed int64, distinct, n, nReq int) e18Workload {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]gapsched.Instance, distinct)
+	for i := range pool {
+		for {
+			in := workload.Bursty(rng, n, 3, 6*n, 4, 5)
+			in.Procs = 2
+			if gapsched.Feasible(in) {
+				pool[i] = in
+				break
+			}
+		}
+	}
+	const alpha = 2
+	directGaps := make([]float64, distinct)
+	directPower := make([]float64, distinct)
+	for i, in := range pool {
+		gsol, err := (gapsched.Solver{}).Solve(in)
+		if err != nil {
+			panic(err)
+		}
+		psol, err := (gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha}).Solve(in)
+		if err != nil {
+			panic(err)
+		}
+		directGaps[i], directPower[i] = float64(gsol.Spans), psol.Power
+	}
+
+	w := e18Workload{reqs: make([]sched.SolveRequest, nReq), want: make([]float64, nReq)}
+	for i := range w.reqs {
+		j := rng.Intn(distinct)
+		if i%2 == 0 {
+			w.reqs[i] = sched.SolveRequest{Objective: sched.WireGaps, Procs: 2, Jobs: pool[j].Jobs}
+			w.want[i] = directGaps[j]
+		} else {
+			w.reqs[i] = sched.SolveRequest{Objective: sched.WirePower, Alpha: alpha, Procs: 2, Jobs: pool[j].Jobs}
+			w.want[i] = directPower[j]
+		}
+	}
+	return w
+}
+
+// e18Drive replays the workload open-loop (fixed inter-arrival gap,
+// arrivals independent of completions) against a live server and
+// reports the drain wall-clock plus whether every response matched its
+// direct-solve reference cost.
+func e18Drive(cfg service.Config, w e18Workload, gap time.Duration) (wall time.Duration, st service.Stats, match bool) {
+	srv := service.New(cfg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+	}}
+	defer client.CloseIdleConnections()
+
+	got := make([]float64, len(w.reqs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, req := range w.reqs {
+		if d := time.Until(start.Add(time.Duration(i) * gap)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = e18Post(client, ts.URL+"/v1/solve", req)
+		}()
+	}
+	wg.Wait()
+	wall = time.Since(start)
+
+	match = true
+	for i := range got {
+		if got[i] != w.want[i] {
+			match = false
+		}
+	}
+	return wall, srv.Stats(), match
+}
+
+// e18Post sends one solve request and extracts its cost under the
+// request's own objective; failures come back as NaN so they can never
+// match a reference cost.
+func e18Post(client *http.Client, url string, req sched.SolveRequest) float64 {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		return math.NaN()
+	}
+	httpResp, err := client.Post(url, "application/json", &buf)
+	if err != nil {
+		return math.NaN()
+	}
+	defer httpResp.Body.Close()
+	resp, err := sched.DecodeSolveResponse(httpResp.Body)
+	if err != nil || resp.Err != nil {
+		return math.NaN()
+	}
+	if req.Objective == sched.WirePower {
+		return resp.Power
+	}
+	return float64(resp.Spans)
+}
+
+func runE18(cfg config) []*stats.Table {
+	distinct, n, nReq := 10, 20, 360
+	gap := 50 * time.Microsecond
+	if cfg.quick {
+		distinct, n, nReq = 6, 14, 120
+	}
+	w := e18MakeWorkload(cfg.seed, distinct, n, nReq)
+
+	modes := []struct {
+		name string
+		cfg  service.Config
+	}{
+		// A naive Solve-per-request service: no window, no cache.
+		{"per-request", service.Config{CacheCapacity: -1, SolveTimeout: time.Minute}},
+		// The coalescing daemon at its default shape.
+		{"coalesced", service.Config{
+			Window:        2 * time.Millisecond,
+			MaxBatch:      64,
+			CacheCapacity: 1 << 15,
+			SolveTimeout:  time.Minute,
+		}},
+	}
+
+	tb := stats.NewTable("mode", "requests", "distinct", "arrival gap µs", "wall ms",
+		"req/s", "speedup", "dispatches", "mean batch", "cache hit %", "costs match direct")
+	var baseWall time.Duration
+	for _, m := range modes {
+		wall, st, match := e18Drive(m.cfg, w, gap)
+		if m.name == "per-request" {
+			baseWall = wall
+		}
+		hitPct := 0.0
+		if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+			hitPct = 100 * float64(st.Cache.Hits) / float64(total)
+		}
+		meanBatch := 0.0
+		if st.Dispatches > 0 {
+			meanBatch = float64(nReq) / float64(st.Dispatches)
+		}
+		tb.AddRow(m.name, nReq, distinct, float64(gap.Microseconds()),
+			float64(wall.Microseconds())/1000,
+			float64(nReq)/wall.Seconds(),
+			float64(baseWall)/float64(wall),
+			st.Dispatches, meanBatch, hitPct, boolMark(match))
+	}
+	return []*stats.Table{tb}
+}

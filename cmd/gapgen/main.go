@@ -9,36 +9,51 @@
 //	gapgen -kind online-lb -n 8
 //
 // All kinds emit the sched.File JSON envelope consumed by cmd/gapsched.
+// Unknown flags, stray positional arguments, and unknown kinds exit
+// with status 2 and the usage text, matching the other CLIs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit status made explicit for
+// testing: 0 on success (including -h), 2 for command-line errors, 1
+// for runtime failures.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gapgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind      = flag.String("kind", "one-interval", "one-interval | multi-interval | bursty | periodic | online-lb | disjoint-unit")
-		n         = flag.Int("n", 10, "number of jobs")
-		p         = flag.Int("p", 1, "number of processors (one-interval kinds)")
-		horizon   = flag.Int("horizon", 24, "release-time horizon")
-		window    = flag.Int("window", 6, "maximum window length")
-		intervals = flag.Int("intervals", 2, "intervals per job (multi-interval)")
-		ivlen     = flag.Int("ivlen", 2, "interval length (multi-interval)")
-		bursts    = flag.Int("bursts", 3, "burst count (bursty)")
-		period    = flag.Int("period", 6, "period (periodic)")
-		jitter    = flag.Int("jitter", 2, "release jitter (periodic)")
-		slack     = flag.Int("slack", 4, "deadline slack (periodic)")
-		alpha     = flag.Float64("alpha", 2, "transition cost recorded in the file")
-		seed      = flag.Int64("seed", 1, "random seed")
-		feasible  = flag.Bool("feasible", true, "redraw until the instance is feasible")
+		kind      = fs.String("kind", "one-interval", "one-interval | multi-interval | bursty | periodic | online-lb | disjoint-unit")
+		n         = fs.Int("n", 10, "number of jobs")
+		p         = fs.Int("p", 1, "number of processors (one-interval kinds)")
+		horizon   = fs.Int("horizon", 24, "release-time horizon")
+		window    = fs.Int("window", 6, "maximum window length")
+		intervals = fs.Int("intervals", 2, "intervals per job (multi-interval)")
+		ivlen     = fs.Int("ivlen", 2, "interval length (multi-interval)")
+		bursts    = fs.Int("bursts", 3, "burst count (bursty)")
+		period    = fs.Int("period", 6, "period (periodic)")
+		jitter    = fs.Int("jitter", 2, "release jitter (periodic)")
+		slack     = fs.Int("slack", 4, "deadline slack (periodic)")
+		alpha     = fs.Float64("alpha", 2, "transition cost recorded in the file")
+		seed      = fs.Int64("seed", 1, "random seed")
+		feasible  = fs.Bool("feasible", true, "redraw until the instance is feasible")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return cli.Status(err)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 
 	var f sched.File
@@ -75,11 +90,13 @@ func main() {
 		mi := workload.DisjointUnit(rng, *n, *intervals)
 		f.Kind, f.Multi = sched.KindMultiInterval, &mi
 	default:
-		fmt.Fprintf(os.Stderr, "gapgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gapgen: unknown kind %q\n", *kind)
+		fs.Usage()
+		return 2
 	}
-	if err := f.WriteJSON(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "gapgen: %v\n", err)
-		os.Exit(1)
+	if err := f.WriteJSON(stdout); err != nil {
+		fmt.Fprintf(stderr, "gapgen: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -1,39 +1,53 @@
 package main
 
 import (
-	"flag"
-	"os"
+	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/feas"
 	"repro/internal/sched"
 )
 
-// runGapgen invokes main with a canned command line, capturing stdout.
-// gapgen registers its flags inside main on the global FlagSet, so each
-// invocation gets a fresh one (which also keeps the test binary's own
-// flags out of the way).
+// runGapgen invokes run with a canned command line, capturing stdout.
 func runGapgen(t *testing.T, args ...string) sched.File {
 	t.Helper()
-	flag.CommandLine = flag.NewFlagSet("gapgen", flag.ExitOnError)
-	oldArgs, oldStdout := os.Args, os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("gapgen %v exited %d:\n%s", args, code, stderr.String())
 	}
-	os.Args = append([]string{"gapgen"}, args...)
-	os.Stdout = w
-	defer func() {
-		os.Args = oldArgs
-		os.Stdout = oldStdout
-	}()
-	main()
-	w.Close()
-	f, err := sched.ReadJSON(r)
+	f, err := sched.ReadJSON(&stdout)
 	if err != nil {
 		t.Fatalf("gapgen %v emitted undecodable JSON: %v", args, err)
 	}
 	return f
+}
+
+// Command-line errors must exit non-zero with the usage text, matching
+// every CLI in this repository.
+func TestGapgenRejectsBadCommandLines(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"positional argument", []string{"extra"}},
+		{"trailing argument", []string{"-n", "4", "extra"}},
+		{"bad value", []string{"-n", "lots"}},
+		{"unknown kind", []string{"-kind", "nonsense"}},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(c.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: gapgen %v exited %d, want 2", c.name, c.args, code)
+		}
+		if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-kind") {
+			t.Errorf("%s: no usage text on stderr:\n%s", c.name, stderr.String())
+		}
+	}
+	if code := run([]string{"-h"}, &bytes.Buffer{}, &bytes.Buffer{}); code != 0 {
+		t.Errorf("-h exited %d, want 0", code)
+	}
 }
 
 // Smoke test: every generator kind must emit a decodable sched.File

@@ -13,6 +13,9 @@
 // ([FHKN06] baseline, single processor), edf (online baseline),
 // approx (Thm 3 multi-interval pipeline), naive (matching baseline),
 // throughput (Thm 11 greedy).
+//
+// Unknown flags and stray positional arguments exit with status 2 and
+// the usage text, matching the other CLIs.
 package main
 
 import (
@@ -23,20 +26,44 @@ import (
 	"sort"
 
 	gapsched "repro"
+	"repro/internal/cli"
 	"repro/internal/power"
 	"repro/internal/sched"
 )
 
+// options is the parsed command line.
+type options struct {
+	input, algo string
+	alpha       float64
+	budget      int
+	quiet       bool
+}
+
+// parseArgs parses the command line with the shared CLI conventions
+// (internal/cli), without touching global state: flag.ErrHelp passes
+// through for -h, and unknown flags, bad values, and stray positional
+// arguments error after printing the usage text to stderr.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("gapsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.input, "input", "-", "instance JSON file (- for stdin)")
+	fs.StringVar(&o.algo, "algo", "gaps", "gaps | power | greedy | edf | approx | naive | throughput")
+	fs.Float64Var(&o.alpha, "alpha", -1, "transition cost (overrides the file's alpha when ≥ 0)")
+	fs.IntVar(&o.budget, "budget", 2, "span budget for -algo throughput")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress the timeline rendering")
+	if err := cli.Parse(fs, args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
 func main() {
-	var (
-		input  = flag.String("input", "-", "instance JSON file (- for stdin)")
-		algo   = flag.String("algo", "gaps", "gaps | power | greedy | edf | approx | naive | throughput")
-		alpha  = flag.Float64("alpha", -1, "transition cost (overrides the file's alpha when ≥ 0)")
-		budget = flag.Int("budget", 2, "span budget for -algo throughput")
-		quiet  = flag.Bool("quiet", false, "suppress the timeline rendering")
-	)
-	flag.Parse()
-	if err := run(*input, *algo, *alpha, *budget, *quiet, os.Stdout); err != nil {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(cli.Status(err))
+	}
+	if err := run(o.input, o.algo, o.alpha, o.budget, o.quiet, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "gapsched: %v\n", err)
 		os.Exit(1)
 	}

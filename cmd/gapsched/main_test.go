@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +11,36 @@ import (
 
 	"repro/internal/sched"
 )
+
+// Command-line errors must exit non-zero with the usage text, matching
+// every CLI in this repository.
+func TestGapschedRejectsBadCommandLines(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"positional argument", []string{"extra"}},
+		{"trailing argument", []string{"-algo", "gaps", "extra"}},
+		{"bad value", []string{"-budget", "many"}},
+	}
+	for _, c := range cases {
+		var stderr bytes.Buffer
+		if _, err := parseArgs(c.args, &stderr); err == nil || errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s: gapsched %v accepted, want error", c.name, c.args)
+		}
+		if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-algo") {
+			t.Errorf("%s: no usage text on stderr:\n%s", c.name, stderr.String())
+		}
+	}
+	if _, err := parseArgs([]string{"-h"}, &bytes.Buffer{}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	o, err := parseArgs([]string{"-algo", "power", "-alpha", "3", "-quiet"}, &bytes.Buffer{})
+	if err != nil || o.algo != "power" || o.alpha != 3 || !o.quiet {
+		t.Errorf("valid command line mangled: %+v, %v", o, err)
+	}
+}
 
 func writeInstance(t *testing.T, f sched.File) string {
 	t.Helper()

@@ -1,0 +1,136 @@
+// Command gapschedd is the batched scheduling daemon: an HTTP/JSON
+// front end to the exact solving pipeline with request coalescing
+// (internal/service). Concurrent solve requests are buffered into
+// short time/size windows and dispatched as one fragment-level batch
+// over a persistent shared fragment cache, so independent clients with
+// similar workloads hit cached canonical fragments instead of
+// re-solving.
+//
+// Usage:
+//
+//	gapschedd -addr :8080 -window 2ms -max-batch 64 -cache 65536
+//
+// Endpoints:
+//
+//	POST /v1/solve   {"objective":"gaps","procs":2,"jobs":[{"release":0,"deadline":3}]}
+//	POST /v1/batch   {"requests":[...]}
+//	GET  /healthz
+//	GET  /metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops, open coalescing windows are flushed so buffered clients still
+// get answers, and in-flight solves complete.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/service"
+)
+
+// options is the parsed command line.
+type options struct {
+	addr    string
+	cfg     service.Config
+	grace   time.Duration
+	verbose bool
+}
+
+// parseArgs parses the command line with the shared CLI conventions
+// (internal/cli): unknown flags and stray positional arguments are
+// reported with the usage text and flag.ErrHelp is passed through. It
+// never calls os.Exit; main maps the error to a status.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("gapschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.DurationVar(&o.cfg.Window, "window", 2*time.Millisecond, "coalescing window (0 disables coalescing)")
+	fs.IntVar(&o.cfg.MaxBatch, "max-batch", service.DefaultMaxBatch, "dispatch a window early at this many requests")
+	fs.IntVar(&o.cfg.CacheCapacity, "cache", service.DefaultCacheCapacity, "fragment cache capacity (negative disables)")
+	fs.IntVar(&o.cfg.Workers, "workers", 0, "solver workers per dispatch (0 = GOMAXPROCS)")
+	fs.DurationVar(&o.cfg.SolveTimeout, "timeout", 30*time.Second, "per-dispatch solve deadline (0 = none)")
+	fs.DurationVar(&o.grace, "grace", 10*time.Second, "graceful shutdown budget before the listener is torn down")
+	fs.BoolVar(&o.verbose, "v", false, "log every dispatch summary")
+	if err := cli.Parse(fs, args); err != nil {
+		return options{}, err
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(cli.Status(err))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatalf("gapschedd: %v", err)
+	}
+	if err := serve(ctx, ln, o); err != nil {
+		log.Fatalf("gapschedd: %v", err)
+	}
+}
+
+// serve runs the daemon on ln until ctx is canceled, then shuts down
+// gracefully: the listener drains within the grace budget and the
+// service flushes its open coalescing windows.
+func serve(ctx context.Context, ln net.Listener, o options) error {
+	srv := service.New(o.cfg)
+	httpSrv := &http.Server{Handler: srv}
+	log.Printf("gapschedd: listening on %s (window %v, max batch %d, cache %d)",
+		ln.Addr(), o.cfg.Window, o.cfg.MaxBatch, o.cfg.CacheCapacity)
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("gapschedd: shutting down")
+	// Flush the coalescing windows concurrently with the listener
+	// drain: buffered handlers are blocked on their window's dispatch,
+	// so the flush is what lets their connections go idle inside the
+	// grace budget — flushing only after Shutdown returned would burn
+	// the whole budget first and reset the very clients the flush is
+	// meant to answer.
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("gapschedd: listener shutdown: %v", err)
+	}
+	<-closed
+	if o.verbose {
+		st := srv.Stats()
+		log.Printf("gapschedd: served %d solve + %d batch requests in %d dispatches (%d coalesced, cache %d/%d hits/misses)",
+			st.SolveRequests, st.BatchRequests, st.Dispatches, st.Coalesced, st.Cache.Hits, st.Cache.Misses)
+	}
+	return <-errc
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Flag handling follows the repository CLI convention: unknown flags,
+// stray positional arguments, and bad values fail with the usage text;
+// -h asks for help.
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		help    bool
+	}{
+		{name: "defaults", args: nil},
+		{name: "tuned", args: []string{"-addr", "127.0.0.1:0", "-window", "5ms", "-max-batch", "8"}},
+		{name: "unknown flag", args: []string{"-bogus"}, wantErr: true},
+		{name: "positional argument", args: []string{"extra"}, wantErr: true},
+		{name: "bad duration", args: []string{"-window", "fast"}, wantErr: true},
+		{name: "help", args: []string{"-h"}, wantErr: true, help: true},
+	}
+	for _, c := range cases {
+		var stderr bytes.Buffer
+		o, err := parseArgs(c.args, &stderr)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+			continue
+		}
+		if c.help != errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s: ErrHelp mismatch: %v", c.name, err)
+		}
+		if err != nil && !c.help && !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-addr") {
+			t.Errorf("%s: no usage text on stderr:\n%s", c.name, stderr.String())
+		}
+		if err == nil && o.addr == "" {
+			t.Errorf("%s: empty addr", c.name)
+		}
+	}
+}
+
+// Startup/shutdown smoke test: the daemon answers /healthz and a solve
+// request, then exits cleanly when its context is canceled.
+func TestServeSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseArgs([]string{"-window", "1ms", "-grace", "2s"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, o) }()
+
+	base := "http://" + ln.Addr().String()
+	var resp *http.Response
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp.Body.Close()
+
+	body := `{"objective":"power","alpha":2,"jobs":[{"release":0,"deadline":2},{"release":6,"deadline":8}]}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

@@ -1,0 +1,37 @@
+// Package cli holds the one command-line convention shared by every
+// tool under cmd/: flags parse on a ContinueOnError FlagSet, stray
+// positional arguments are rejected with the usage text, and errors
+// map to exit status 2 (0 for -h). Keeping it here means the tools
+// cannot drift apart the way the early CLIs did.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+)
+
+// Parse runs fs on args and rejects stray positional arguments,
+// printing the offending argument and the usage text to the FlagSet's
+// configured output. The returned error is flag.ErrHelp when -h was
+// asked for; pass any error to Status for the conventional exit code.
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(fs.Output(), "%s: unexpected argument %q\n", fs.Name(), fs.Arg(0))
+		fs.Usage()
+		return fmt.Errorf("%s: unexpected arguments", fs.Name())
+	}
+	return nil
+}
+
+// Status maps a Parse outcome to the conventional exit status: 0 for
+// success and -h, 2 for any command-line error.
+func Status(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	return 2
+}

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newFS(stderr *bytes.Buffer) *flag.FlagSet {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Int("n", 1, "a number")
+	return fs
+}
+
+func TestParseAndStatus(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		wantStatus int
+		wantUsage  bool
+	}{
+		{"clean", []string{"-n", "3"}, 0, false},
+		{"unknown flag", []string{"-bogus"}, 2, true},
+		{"bad value", []string{"-n", "lots"}, 2, true},
+		{"positional", []string{"stray"}, 2, true},
+		{"flag then positional", []string{"-n", "3", "stray"}, 2, true},
+		{"help", []string{"-h"}, 0, true},
+	}
+	for _, c := range cases {
+		var stderr bytes.Buffer
+		err := Parse(newFS(&stderr), c.args)
+		if got := Status(err); got != c.wantStatus {
+			t.Errorf("%s: Status = %d, want %d (err %v)", c.name, got, c.wantStatus, err)
+		}
+		if hasUsage := strings.Contains(stderr.String(), "-n"); hasUsage != c.wantUsage {
+			t.Errorf("%s: usage printed = %v, want %v:\n%s", c.name, hasUsage, c.wantUsage, stderr.String())
+		}
+	}
+}
+
+func TestParseNamesTheStrayArgument(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := Parse(newFS(&stderr), []string{"oops"}); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+	if !strings.Contains(stderr.String(), `tool: unexpected argument "oops"`) {
+		t.Fatalf("message does not name the argument:\n%s", stderr.String())
+	}
+}

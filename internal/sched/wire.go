@@ -1,0 +1,228 @@
+package sched
+
+// The service wire format: request/response JSON bodies exchanged with
+// the scheduling daemon (internal/service, cmd/gapschedd). Kept here —
+// next to the model types they serialize — so clients, the service,
+// and the CLIs share one strictly-validated schema. File (json.go) is
+// the on-disk instance envelope; these types are the over-the-wire
+// solve protocol.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire objective names accepted by SolveRequest. An empty objective
+// means WireGaps.
+const (
+	WireGaps  = "gaps"
+	WirePower = "power"
+)
+
+// Wire error codes carried by WireError. They partition every way a
+// request can come back without a schedule: the request itself was
+// malformed or misconfigured (bad_request), the instance admits no
+// feasible schedule (infeasible), the solve was cut off by a deadline
+// or disconnect (canceled), the server is draining for shutdown
+// (unavailable — retry elsewhere), or the server failed (internal).
+const (
+	ErrCodeBadRequest  = "bad_request"
+	ErrCodeInfeasible  = "infeasible"
+	ErrCodeCanceled    = "canceled"
+	ErrCodeUnavailable = "unavailable"
+	ErrCodeInternal    = "internal"
+)
+
+// SolveRequest is the wire form of one scheduling request, the JSON
+// body of the daemon's /v1/solve endpoint and the element of a
+// BatchRequest. The zero Objective means WireGaps and zero Procs means
+// one processor, so the minimal request is just {"jobs":[...]}.
+type SolveRequest struct {
+	// Objective is WireGaps or WirePower ("" = WireGaps).
+	Objective string `json:"objective,omitempty"`
+	// Alpha is the sleep→active transition cost used by WirePower.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Procs is the processor count (0 = 1).
+	Procs int `json:"procs,omitempty"`
+	// Jobs are the unit jobs to schedule.
+	Jobs []Job `json:"jobs"`
+}
+
+// Instance converts the request to the solver's instance form,
+// applying the Procs default.
+func (r SolveRequest) Instance() Instance {
+	p := r.Procs
+	if p == 0 {
+		p = 1
+	}
+	return Instance{Jobs: r.Jobs, Procs: p}
+}
+
+// Validate checks the request: a known objective, a non-negative
+// alpha, and a structurally valid instance.
+func (r SolveRequest) Validate() error {
+	switch r.Objective {
+	case "", WireGaps, WirePower:
+	default:
+		return fmt.Errorf("sched: unknown objective %q (want %q or %q)", r.Objective, WireGaps, WirePower)
+	}
+	if r.Alpha < 0 {
+		return fmt.Errorf("sched: negative alpha %v", r.Alpha)
+	}
+	return r.Instance().Validate()
+}
+
+// BatchRequest is the wire form of the daemon's /v1/batch endpoint:
+// independent requests solved positionally.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// WireError is the wire form of a failed request. It implements error,
+// so a decoded response's failure can be returned directly.
+type WireError struct {
+	// Code is one of the ErrCode constants.
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// SolveResponse is the wire form of one request's outcome. Exactly one
+// of {a solution with Schedule set, Err set} is present; the numeric
+// fields mirror gapsched.Solution.
+type SolveResponse struct {
+	// Spans and Gaps report the schedule's wake-up counts.
+	Spans int `json:"spans,omitempty"`
+	Gaps  int `json:"gaps,omitempty"`
+	// Power is the total power consumption; meaningful for WirePower.
+	Power float64 `json:"power,omitempty"`
+	// Schedule is the computed schedule (nil when Err is set).
+	Schedule *Schedule `json:"schedule,omitempty"`
+	// States, Subinstances and CacheHits mirror the solver's
+	// effectiveness counters.
+	States       int `json:"states,omitempty"`
+	Subinstances int `json:"subinstances,omitempty"`
+	CacheHits    int `json:"cacheHits,omitempty"`
+	// Err is set when the request failed; all other fields are zero.
+	Err *WireError `json:"error,omitempty"`
+}
+
+// Validate checks the response invariant: exactly one of a schedule
+// or an error, and errors carry a code.
+func (r SolveResponse) Validate() error {
+	if r.Err != nil {
+		if r.Schedule != nil {
+			return fmt.Errorf("sched: response carries both a schedule and error %q", r.Err.Code)
+		}
+		if r.Err.Code == "" {
+			return fmt.Errorf("sched: response error has no code")
+		}
+		return nil
+	}
+	if r.Schedule == nil {
+		return fmt.Errorf("sched: response carries neither a schedule nor an error")
+	}
+	return nil
+}
+
+// BatchResponse is the wire form of a /v1/batch outcome. On success
+// Responses align positionally with the BatchRequest's Requests (each
+// element failing independently); Err is set — and Responses empty —
+// only when the envelope itself could not be processed.
+type BatchResponse struct {
+	Responses []SolveResponse `json:"responses,omitempty"`
+	Err       *WireError      `json:"error,omitempty"`
+}
+
+// Validate checks the envelope invariant: an element list or an
+// envelope error, never both, with every element and the error itself
+// well-formed.
+func (r BatchResponse) Validate() error {
+	if r.Err != nil {
+		if len(r.Responses) > 0 {
+			return fmt.Errorf("sched: batch response carries both elements and envelope error %q", r.Err.Code)
+		}
+		if r.Err.Code == "" {
+			return fmt.Errorf("sched: batch response envelope error has no code")
+		}
+		return nil
+	}
+	for i, sr := range r.Responses {
+		if err := sr.Validate(); err != nil {
+			return fmt.Errorf("sched: batch response %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// decodeStrict decodes exactly one JSON value into v, rejecting
+// unknown fields and trailing garbage — the shared strictness of every
+// wire decoder below.
+func decodeStrict(r io.Reader, v any, what string) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("sched: decoding %s: %w", what, err)
+	}
+	var extra json.RawMessage
+	switch err := dec.Decode(&extra); err {
+	case io.EOF:
+		return nil
+	case nil:
+		return fmt.Errorf("sched: decoding %s: trailing data after JSON value", what)
+	default:
+		// A real read failure (truncated body, size limit), not a
+		// protocol violation — report it as what it is.
+		return fmt.Errorf("sched: decoding %s: %w", what, err)
+	}
+}
+
+// DecodeSolveRequest decodes and validates one SolveRequest.
+func DecodeSolveRequest(r io.Reader) (SolveRequest, error) {
+	var req SolveRequest
+	if err := decodeStrict(r, &req, "solve request"); err != nil {
+		return SolveRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return SolveRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeBatchRequest decodes a BatchRequest and validates its shape.
+// Per-request validation is left to the solve path so each element
+// fails independently, mirroring batch solve semantics.
+func DecodeBatchRequest(r io.Reader) (BatchRequest, error) {
+	var req BatchRequest
+	if err := decodeStrict(r, &req, "batch request"); err != nil {
+		return BatchRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeSolveResponse decodes and validates one SolveResponse.
+func DecodeSolveResponse(r io.Reader) (SolveResponse, error) {
+	var resp SolveResponse
+	if err := decodeStrict(r, &resp, "solve response"); err != nil {
+		return SolveResponse{}, err
+	}
+	if err := resp.Validate(); err != nil {
+		return SolveResponse{}, err
+	}
+	return resp, nil
+}
+
+// DecodeBatchResponse decodes and validates a BatchResponse.
+func DecodeBatchResponse(r io.Reader) (BatchResponse, error) {
+	var resp BatchResponse
+	if err := decodeStrict(r, &resp, "batch response"); err != nil {
+		return BatchResponse{}, err
+	}
+	if err := resp.Validate(); err != nil {
+		return BatchResponse{}, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randWireRequest(rng *rand.Rand) SolveRequest {
+	req := SolveRequest{
+		Objective: [...]string{"", WireGaps, WirePower}[rng.Intn(3)],
+		Procs:     rng.Intn(4), // 0 exercises the default
+	}
+	if req.Objective == WirePower {
+		req.Alpha = float64(rng.Intn(12)) / 2
+	}
+	n := rng.Intn(8)
+	for i := 0; i < n; i++ {
+		r := rng.Intn(30)
+		req.Jobs = append(req.Jobs, Job{Release: r, Deadline: r + rng.Intn(6)})
+	}
+	return req
+}
+
+func randWireResponse(rng *rand.Rand) SolveResponse {
+	switch rng.Intn(4) {
+	case 0: // infeasible payload
+		return SolveResponse{Err: &WireError{Code: ErrCodeInfeasible, Message: "no feasible schedule"}}
+	case 1: // config-error payload
+		return SolveResponse{Err: &WireError{Code: ErrCodeBadRequest, Message: "negative alpha -1"}}
+	}
+	n := rng.Intn(6)
+	s := &Schedule{Procs: 1 + rng.Intn(3)}
+	for i := 0; i < n; i++ {
+		s.Slots = append(s.Slots, Assignment{Proc: rng.Intn(s.Procs), Time: rng.Intn(40)})
+	}
+	resp := SolveResponse{
+		Spans:        rng.Intn(5),
+		Schedule:     s,
+		States:       rng.Intn(1000),
+		Subinstances: rng.Intn(4),
+		CacheHits:    rng.Intn(4),
+	}
+	resp.Gaps = max(resp.Spans-1, 0)
+	if rng.Intn(2) == 1 {
+		resp.Power = float64(rng.Intn(40)) / 4
+	}
+	return resp
+}
+
+// Round-trip property: encode → strict decode is the identity on every
+// wire type, for requests of all shapes and for success, infeasible,
+// and config-error response payloads.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		req := randWireRequest(rng)
+		if err := req.Validate(); err != nil {
+			t.Fatalf("generated request invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeSolveRequest(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode request: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("trial %d: request round trip:\n got %+v\nwant %+v", trial, got, req)
+		}
+
+		resp := randWireResponse(rng)
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		gotResp, err := DecodeSolveResponse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode response: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotResp, resp) {
+			t.Fatalf("trial %d: response round trip:\n got %+v\nwant %+v", trial, gotResp, resp)
+		}
+	}
+}
+
+// Round-trip property at batch granularity: element order and payload
+// variety (success / infeasible / config error) survive the envelope.
+func TestWireBatchRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var breq BatchRequest
+		var bresp BatchResponse
+		n := rng.Intn(6)
+		for i := 0; i < n; i++ {
+			breq.Requests = append(breq.Requests, randWireRequest(rng))
+			bresp.Responses = append(bresp.Responses, randWireResponse(rng))
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(breq); err != nil {
+			t.Fatal(err)
+		}
+		gotReq, err := DecodeBatchRequest(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode batch request: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotReq, breq) {
+			t.Fatalf("trial %d: batch request round trip:\n got %+v\nwant %+v", trial, gotReq, breq)
+		}
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(bresp); err != nil {
+			t.Fatal(err)
+		}
+		gotResp, err := DecodeBatchResponse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode batch response: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotResp, bresp) {
+			t.Fatalf("trial %d: batch response round trip:\n got %+v\nwant %+v", trial, gotResp, bresp)
+		}
+	}
+}
+
+func TestWireRequestRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown objective": `{"objective":"speed","jobs":[]}`,
+		"negative alpha":    `{"alpha":-2,"jobs":[]}`,
+		"negative procs":    `{"procs":-1,"jobs":[]}`,
+		"empty window":      `{"jobs":[{"release":3,"deadline":1}]}`,
+		"unknown field":     `{"jobs":[],"priority":9}`,
+		"trailing garbage":  `{"jobs":[]} {"jobs":[]}`,
+		"not an object":     `[1,2,3]`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeSolveRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}
+
+func TestWireResponseRejects(t *testing.T) {
+	cases := map[string]string{
+		"schedule and error": `{"schedule":{"procs":1,"slots":[]},"error":{"code":"infeasible","message":"x"}}`,
+		"error without code": `{"error":{"code":"","message":"x"}}`,
+		"unknown field":      `{"spans":1,"bogus":true}`,
+		"empty response":     `{}`,
+		"neither on success": `{"spans":2,"gaps":1}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeSolveResponse(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+	if _, err := DecodeBatchResponse(strings.NewReader(`{"responses":[{"error":{"code":"","message":"x"}}]}`)); err == nil {
+		t.Error("batch response with codeless error accepted")
+	}
+}
+
+// The batch envelope error is itself part of the wire contract: it
+// round-trips, and mixing it with element responses is rejected.
+func TestWireBatchEnvelopeError(t *testing.T) {
+	envelope := BatchResponse{Err: &WireError{Code: ErrCodeBadRequest, Message: "decoding batch request: bad JSON"}}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(envelope); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchResponse(&buf)
+	if err != nil {
+		t.Fatalf("envelope error round trip: %v", err)
+	}
+	if !reflect.DeepEqual(got, envelope) {
+		t.Fatalf("envelope error mangled: %+v", got)
+	}
+	rejects := map[string]string{
+		"elements and envelope error": `{"responses":[{"spans":1,"schedule":{"procs":1,"slots":[]}}],"error":{"code":"bad_request","message":"x"}}`,
+		"codeless envelope error":     `{"error":{"code":"","message":"x"}}`,
+	}
+	for name, body := range rejects {
+		if _, err := DecodeBatchResponse(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted %s", name, body)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	gapsched "repro"
+)
+
+// ErrShuttingDown is returned to requests that arrive after graceful
+// shutdown has begun.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// solveKey identifies one solver configuration. Requests coalesce only
+// with requests of the same key, since one SolveBatch call runs under
+// one configuration; the fragment cache is still shared across keys
+// (its entries are keyed by objective and alpha).
+type solveKey struct {
+	objective gapsched.Objective
+	alpha     float64
+}
+
+// outcome is one request's terminal result.
+type outcome struct {
+	sol gapsched.Solution
+	err error
+}
+
+// pending is one buffered request. done is buffered so a dispatcher
+// never blocks on a client that stopped listening.
+type pending struct {
+	ctx  context.Context
+	in   gapsched.Instance
+	done chan outcome
+}
+
+// coalescer buffers concurrent single-instance requests into short
+// time/size windows and dispatches each window as one fragment-level
+// SolveBatch over the shared cache, demultiplexing results back per
+// request. Independent clients sending similar workloads inside one
+// window therefore hit the same canonical fragments — the duplicate-
+// heavy batch shape the cache layer was built for — instead of
+// re-solving in isolation.
+type coalescer struct {
+	window   time.Duration // 0 disables buffering: every request dispatches at once
+	maxBatch int           // dispatch early once a window holds this many requests
+	timeout  time.Duration // per-dispatch solve deadline (0 = none)
+	solver   func(solveKey) gapsched.Solver
+	met      *metrics
+
+	mu     sync.Mutex
+	groups map[solveKey]*group
+	closed bool
+	wg     sync.WaitGroup // in-flight dispatch goroutines
+}
+
+// group is one open coalescing window.
+type group struct {
+	reqs  []*pending
+	timer *time.Timer
+}
+
+func newCoalescer(window time.Duration, maxBatch int, timeout time.Duration, met *metrics, solver func(solveKey) gapsched.Solver) *coalescer {
+	return &coalescer{
+		window:   window,
+		maxBatch: maxBatch,
+		timeout:  timeout,
+		solver:   solver,
+		met:      met,
+		groups:   make(map[solveKey]*group),
+	}
+}
+
+// enqueue buffers one request and returns the channel its outcome will
+// arrive on. ctx is honored only for an immediate (uncoalesced)
+// dispatch; a coalesced dispatch serves several clients and is bounded
+// by the coalescer's timeout instead, so one disconnecting client
+// cannot cancel its peers' solutions.
+func (c *coalescer) enqueue(ctx context.Context, key solveKey, in gapsched.Instance) (<-chan outcome, error) {
+	p := &pending{ctx: ctx, in: in, done: make(chan outcome, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	if c.window <= 0 || c.maxBatch <= 1 {
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go c.run(key, []*pending{p})
+		return p.done, nil
+	}
+	g := c.groups[key]
+	if g == nil {
+		g = &group{}
+		c.groups[key] = g
+		// The window opens when its first request arrives; the timer
+		// callback flushes whatever the window accumulated.
+		g.timer = time.AfterFunc(c.window, func() { c.flush(key, g) })
+	}
+	g.reqs = append(g.reqs, p)
+	if len(g.reqs) >= c.maxBatch {
+		c.detachLocked(key, g)
+		reqs := g.reqs
+		c.mu.Unlock()
+		go c.run(key, reqs)
+		return p.done, nil
+	}
+	c.mu.Unlock()
+	return p.done, nil
+}
+
+// detachLocked removes g from the open set and claims a dispatch slot.
+// Caller holds c.mu and must start run() for g's requests.
+func (c *coalescer) detachLocked(key solveKey, g *group) {
+	delete(c.groups, key)
+	g.timer.Stop()
+	c.wg.Add(1)
+}
+
+// flush dispatches g when its window timer fires. g may already have
+// been dispatched by the size trigger or by Close; the map identity
+// check makes the flush idempotent.
+func (c *coalescer) flush(key solveKey, g *group) {
+	c.mu.Lock()
+	if c.groups[key] != g {
+		c.mu.Unlock()
+		return
+	}
+	c.detachLocked(key, g)
+	reqs := g.reqs
+	c.mu.Unlock()
+	c.run(key, reqs)
+}
+
+// run dispatches one claimed window: a single SolveBatchContext over
+// the shared cache, results demultiplexed back per request. The
+// caller must have claimed a wg slot (detachLocked or enqueue).
+func (c *coalescer) run(key solveKey, reqs []*pending) {
+	defer c.wg.Done()
+	ctx := context.Background()
+	if len(reqs) == 1 && reqs[0].ctx != nil {
+		ctx = reqs[0].ctx
+	}
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	c.met.dispatches.Add(1)
+	if len(reqs) > 1 {
+		c.met.coalesced.Add(int64(len(reqs)))
+	}
+	s := c.solver(key)
+	if len(reqs) == 1 {
+		sol, err := s.SolveContext(ctx, reqs[0].in)
+		reqs[0].done <- outcome{sol: sol, err: err}
+		return
+	}
+	ins := make([]gapsched.Instance, len(reqs))
+	for i, p := range reqs {
+		ins[i] = p.in
+	}
+	for i, r := range s.SolveBatchContext(ctx, ins) {
+		reqs[i].done <- outcome{sol: r.Solution, err: r.Err}
+	}
+}
+
+// acquire claims a dispatch slot for solve work that runs outside the
+// coalescing windows (client-built /v1/batch envelopes), so close()
+// waits for it and work arriving after shutdown began is rejected —
+// the same lifecycle every windowed dispatch gets.
+func (c *coalescer) acquire() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrShuttingDown
+	}
+	c.wg.Add(1)
+	return nil
+}
+
+// release returns a slot claimed with acquire.
+func (c *coalescer) release() { c.wg.Done() }
+
+// buffered returns the number of requests currently waiting in open
+// coalescing windows (dispatched requests no longer count).
+func (c *coalescer) buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, g := range c.groups {
+		n += len(g.reqs)
+	}
+	return n
+}
+
+// close rejects new requests, dispatches every open window so buffered
+// clients still get answers, and waits for all in-flight dispatches.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	type claimed struct {
+		key  solveKey
+		reqs []*pending
+	}
+	var flushes []claimed
+	for key, g := range c.groups {
+		c.detachLocked(key, g)
+		flushes = append(flushes, claimed{key, g.reqs})
+	}
+	c.mu.Unlock()
+	for _, f := range flushes {
+		go c.run(f.key, f.reqs)
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	gapsched "repro"
+	"repro/internal/sched"
+)
+
+// metrics is the daemon's counter set, updated with atomics on the
+// request path and rendered in Prometheus text exposition format by
+// the /metrics endpoint. Fragment-cache counters are not duplicated
+// here; they are read from the shared FragmentCache at render time.
+type metrics struct {
+	solveRequests atomic.Int64 // /v1/solve requests received
+	batchRequests atomic.Int64 // /v1/batch envelopes received
+	batchItems    atomic.Int64 // requests carried inside /v1/batch envelopes
+	dispatches    atomic.Int64 // solver dispatches (coalesced groups + batch groups)
+	coalesced     atomic.Int64 // solve requests that shared a dispatch with ≥1 peer
+	inflight      atomic.Int64 // HTTP requests currently being served
+
+	errBadRequest  atomic.Int64
+	errInfeasible  atomic.Int64
+	errCanceled    atomic.Int64
+	errUnavailable atomic.Int64
+	errInternal    atomic.Int64
+}
+
+// bumpError increments the counter for one wire error code.
+func (m *metrics) bumpError(code string) {
+	switch code {
+	case sched.ErrCodeBadRequest:
+		m.errBadRequest.Add(1)
+	case sched.ErrCodeInfeasible:
+		m.errInfeasible.Add(1)
+	case sched.ErrCodeCanceled:
+		m.errCanceled.Add(1)
+	case sched.ErrCodeUnavailable:
+		m.errUnavailable.Add(1)
+	default:
+		m.errInternal.Add(1)
+	}
+}
+
+// write renders the counters. buffered is the coalescer's current
+// open-window occupancy; cache may be nil (caching disabled).
+func (m *metrics) write(w io.Writer, buffered int, cache *gapsched.FragmentCache) {
+	counter := func(name, help string, pairs ...any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := 0; i < len(pairs); i += 2 {
+			if labels := pairs[i].(string); labels != "" {
+				fmt.Fprintf(w, "%s{%s} %d\n", name, labels, pairs[i+1])
+			} else {
+				fmt.Fprintf(w, "%s %d\n", name, pairs[i+1])
+			}
+		}
+	}
+	counter("gapschedd_requests_total", "Requests received, by endpoint.",
+		`endpoint="solve"`, m.solveRequests.Load(),
+		`endpoint="batch"`, m.batchRequests.Load())
+	counter("gapschedd_batch_items_total", "Requests carried inside /v1/batch envelopes.",
+		"", m.batchItems.Load())
+	counter("gapschedd_dispatches_total", "Solver dispatches (each runs one SolveBatch).",
+		"", m.dispatches.Load())
+	counter("gapschedd_coalesced_requests_total", "Solve requests that shared a dispatch with at least one other request.",
+		"", m.coalesced.Load())
+	counter("gapschedd_errors_total", "Failed requests, by wire error code.",
+		`code="bad_request"`, m.errBadRequest.Load(),
+		`code="infeasible"`, m.errInfeasible.Load(),
+		`code="canceled"`, m.errCanceled.Load(),
+		`code="unavailable"`, m.errUnavailable.Load(),
+		`code="internal"`, m.errInternal.Load())
+	fmt.Fprintf(w, "# HELP gapschedd_inflight_requests HTTP requests currently being served.\n"+
+		"# TYPE gapschedd_inflight_requests gauge\ngapschedd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP gapschedd_buffered_requests Requests waiting in open coalescing windows.\n"+
+		"# TYPE gapschedd_buffered_requests gauge\ngapschedd_buffered_requests %d\n", buffered)
+	if cache != nil {
+		st := cache.Stats()
+		counter("gapschedd_fragcache_events_total", "Fragment cache events since startup.",
+			`event="hit"`, st.Hits,
+			`event="miss"`, st.Misses,
+			`event="wait"`, st.Waits,
+			`event="eviction"`, st.Evictions)
+		fmt.Fprintf(w, "# HELP gapschedd_fragcache_entries Fragment solutions currently cached.\n"+
+			"# TYPE gapschedd_fragcache_entries gauge\ngapschedd_fragcache_entries %d\n", cache.Len())
+	}
+}

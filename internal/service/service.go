@@ -1,0 +1,332 @@
+// Package service is the batched scheduling daemon behind
+// cmd/gapschedd: an HTTP/JSON front end to the gapsched solving
+// pipeline whose core is a request coalescer. Concurrent /v1/solve
+// requests are buffered into short time/size windows and dispatched as
+// one fragment-level SolveBatch over a persistent shared
+// FragmentCache, so independent clients with similar workloads hit
+// cached canonical fragments instead of re-solving; responses are
+// demultiplexed back per request and are bit-identical to direct
+// Solve calls. Endpoints:
+//
+//	POST /v1/solve   one sched.SolveRequest  → sched.SolveResponse
+//	POST /v1/batch   one sched.BatchRequest  → sched.BatchResponse
+//	GET  /healthz    liveness probe
+//	GET  /metrics    Prometheus text exposition of the counters
+//
+// The wire format is defined in internal/sched (wire.go); DESIGN.md §2
+// describes where this layer sits in the pipeline.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	gapsched "repro"
+	"repro/internal/sched"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultMaxBatch bounds how many requests one coalescing window
+	// may accumulate before it dispatches early.
+	DefaultMaxBatch = 64
+	// DefaultCacheCapacity sizes the shared fragment cache.
+	DefaultCacheCapacity = 1 << 16
+	// maxBodyBytes bounds a request body; a million-job instance is
+	// ~30 MB and far beyond what the exact DP should be fed over HTTP.
+	maxBodyBytes = 8 << 20
+)
+
+// Config tunes a Server. The zero value serves uncoalesced requests
+// (no buffering window) through a default-capacity shared cache.
+type Config struct {
+	// Window is the coalescing window: the first /v1/solve request of
+	// a solver configuration opens a window, requests arriving within
+	// Window join it, and the whole window dispatches as one
+	// SolveBatch. Zero or negative disables coalescing — every request
+	// dispatches immediately.
+	Window time.Duration
+	// MaxBatch dispatches a window early once it holds this many
+	// requests (0 = DefaultMaxBatch; 1 effectively disables
+	// coalescing).
+	MaxBatch int
+	// CacheCapacity sizes the persistent shared FragmentCache
+	// (0 = DefaultCacheCapacity; negative disables caching).
+	CacheCapacity int
+	// Workers bounds each dispatch's solver pool (0 = GOMAXPROCS).
+	Workers int
+	// SolveTimeout is the per-dispatch solve deadline. Immediate
+	// dispatches additionally honor their client's request context;
+	// coalesced dispatches are shared and honor only this timeout.
+	// Zero means no deadline.
+	SolveTimeout time.Duration
+}
+
+// Server is the daemon: an http.Handler plus the shared cache and the
+// coalescer. Construct with New; close with Close.
+type Server struct {
+	cfg   Config
+	cache *gapsched.FragmentCache
+	co    *coalescer
+	met   metrics
+	mux   *http.ServeMux
+}
+
+// New builds a Server from cfg, applying the documented defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = DefaultCacheCapacity
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.CacheCapacity > 0 {
+		s.cache = gapsched.NewFragmentCache(cfg.CacheCapacity)
+	}
+	s.co = newCoalescer(cfg.Window, cfg.MaxBatch, cfg.SolveTimeout, &s.met, s.solverFor)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// solverFor binds one solve configuration to the shared pieces.
+func (s *Server) solverFor(key solveKey) gapsched.Solver {
+	return gapsched.Solver{
+		Objective: key.objective,
+		Alpha:     key.alpha,
+		Workers:   s.cfg.Workers,
+		Cache:     s.cache,
+	}
+}
+
+// Close gracefully shuts the solving side down: new requests are
+// rejected with ErrShuttingDown, every open coalescing window is
+// dispatched so buffered clients still get their answers, and all
+// in-flight dispatches are waited for. The HTTP listener's lifecycle
+// (http.Server.Shutdown) is the caller's concern.
+func (s *Server) Close() {
+	s.co.close()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats is a point-in-time snapshot of the Server's counters, exposed
+// for tests and the experiment harness; /metrics renders the same
+// numbers.
+type Stats struct {
+	SolveRequests, BatchRequests, BatchItems int64
+	Dispatches, Coalesced                    int64
+	// Buffered is the number of requests currently waiting in open
+	// coalescing windows.
+	Buffered     int
+	Errors       map[string]int64
+	Cache        gapsched.CacheStats
+	CacheEntries int
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		SolveRequests: s.met.solveRequests.Load(),
+		BatchRequests: s.met.batchRequests.Load(),
+		BatchItems:    s.met.batchItems.Load(),
+		Dispatches:    s.met.dispatches.Load(),
+		Coalesced:     s.met.coalesced.Load(),
+		Buffered:      s.co.buffered(),
+		Errors: map[string]int64{
+			sched.ErrCodeBadRequest:  s.met.errBadRequest.Load(),
+			sched.ErrCodeInfeasible:  s.met.errInfeasible.Load(),
+			sched.ErrCodeCanceled:    s.met.errCanceled.Load(),
+			sched.ErrCodeUnavailable: s.met.errUnavailable.Load(),
+			sched.ErrCodeInternal:    s.met.errInternal.Load(),
+		},
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+		st.CacheEntries = s.cache.Len()
+	}
+	return st
+}
+
+// keyFor maps a validated wire request to its solver configuration.
+// The gaps objective ignores alpha, so it is dropped from the key —
+// gaps requests coalesce regardless of any alpha they happen to carry.
+func keyFor(req sched.SolveRequest) solveKey {
+	if req.Objective == sched.WirePower {
+		return solveKey{objective: gapsched.ObjectivePower, alpha: req.Alpha}
+	}
+	return solveKey{objective: gapsched.ObjectiveGaps}
+}
+
+// wireOutcome converts one solve outcome to its wire form.
+func wireOutcome(out outcome) sched.SolveResponse {
+	if out.err != nil {
+		return sched.SolveResponse{Err: wireError(out.err)}
+	}
+	sol := out.sol
+	return sched.SolveResponse{
+		Spans:        sol.Spans,
+		Gaps:         sol.Gaps,
+		Power:        sol.Power,
+		Schedule:     &sol.Schedule,
+		States:       sol.States,
+		Subinstances: sol.Subinstances,
+		CacheHits:    sol.CacheHits,
+	}
+}
+
+// wireError classifies a solver-side error. Requests are validated
+// before they reach the solver, so anything but infeasibility or a
+// context cut-off is an internal fault.
+func wireError(err error) *sched.WireError {
+	code := sched.ErrCodeInternal
+	switch {
+	case errors.Is(err, gapsched.ErrInfeasible):
+		code = sched.ErrCodeInfeasible
+	case errors.Is(err, ErrShuttingDown):
+		code = sched.ErrCodeUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = sched.ErrCodeCanceled
+	}
+	return &sched.WireError{Code: code, Message: err.Error()}
+}
+
+// httpStatus maps a wire error code to the /v1/solve response status.
+func httpStatus(code string) int {
+	switch code {
+	case sched.ErrCodeBadRequest:
+		return http.StatusBadRequest
+	case sched.ErrCodeInfeasible:
+		return http.StatusUnprocessableEntity
+	case sched.ErrCodeCanceled:
+		return http.StatusGatewayTimeout
+	case sched.ErrCodeUnavailable:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// writeJSON writes one wire value with status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeWireError writes an error response, counting it.
+func (s *Server) writeWireError(w http.ResponseWriter, we *sched.WireError) {
+	s.met.bumpError(we.Code)
+	writeJSON(w, httpStatus(we.Code), sched.SolveResponse{Err: we})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.met.solveRequests.Add(1)
+	req, err := sched.DecodeSolveRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeWireError(w, &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()})
+		return
+	}
+	done, err := s.co.enqueue(r.Context(), keyFor(req), req.Instance())
+	if err != nil {
+		s.writeWireError(w, wireError(err))
+		return
+	}
+	select {
+	case out := <-done:
+		resp := wireOutcome(out)
+		if resp.Err != nil {
+			s.writeWireError(w, resp.Err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// The client is gone; its window still completes for the
+		// benefit of coalesced peers (and the done channel is buffered,
+		// so the dispatcher never blocks on us).
+		s.writeWireError(w, &sched.WireError{Code: sched.ErrCodeCanceled, Message: "request canceled by client"})
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.batchRequests.Add(1)
+	breq, err := sched.DecodeBatchRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.met.bumpError(sched.ErrCodeBadRequest)
+		writeJSON(w, http.StatusBadRequest, sched.BatchResponse{
+			Err: &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()},
+		})
+		return
+	}
+	s.met.batchItems.Add(int64(len(breq.Requests)))
+	// Claiming a dispatch slot ties the batch into the coalescer's
+	// lifecycle: Close rejects envelopes arriving after shutdown began
+	// and waits for this dispatch like any windowed one.
+	if err := s.co.acquire(); err != nil {
+		we := wireError(err)
+		s.met.bumpError(we.Code)
+		writeJSON(w, httpStatus(we.Code), sched.BatchResponse{Err: we})
+		return
+	}
+	defer s.co.release()
+
+	// A client-built batch is already a batch: it bypasses the
+	// coalescing window and dispatches immediately, grouped by solver
+	// configuration, over the same shared cache. Elements fail
+	// independently, mirroring SolveBatch semantics.
+	resp := sched.BatchResponse{Responses: make([]sched.SolveResponse, len(breq.Requests))}
+	groups := make(map[solveKey][]int)
+	for i, req := range breq.Requests {
+		if err := req.Validate(); err != nil {
+			s.met.bumpError(sched.ErrCodeBadRequest)
+			resp.Responses[i] = sched.SolveResponse{
+				Err: &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()},
+			}
+			continue
+		}
+		key := keyFor(req)
+		groups[key] = append(groups[key], i)
+	}
+	ctx := r.Context()
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	for key, idxs := range groups {
+		ins := make([]gapsched.Instance, len(idxs))
+		for j, i := range idxs {
+			ins[j] = breq.Requests[i].Instance()
+		}
+		s.met.dispatches.Add(1)
+		for j, br := range s.solverFor(key).SolveBatchContext(ctx, ins) {
+			out := wireOutcome(outcome{sol: br.Solution, err: br.Err})
+			if out.Err != nil {
+				s.met.bumpError(out.Err.Code)
+			}
+			resp.Responses[idxs[j]] = out
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.co.buffered(), s.cache)
+}

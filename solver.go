@@ -1,6 +1,7 @@
 package gapsched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -209,9 +210,12 @@ type preparedInstance struct {
 	// failed is set once any fragment errors, so batch workers skip the
 	// instance's remaining fragments instead of solving results that
 	// finishInstance will discard. Skipping cannot change which error
-	// is reported: fragments of a validated instance only ever fail
-	// with ErrInfeasible, so the first error in fragment order is the
-	// same error regardless of which fragments actually ran.
+	// is reported for an uncanceled solve: fragments of a validated
+	// instance only ever fail with ErrInfeasible, so the first error in
+	// fragment order is the same error regardless of which fragments
+	// actually ran. (Once the batch context is done, fragments fail
+	// with the context's error instead, and the reported error may be
+	// either — both mean "not solved".)
 	failed atomic.Bool
 }
 
@@ -310,18 +314,39 @@ func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Soluti
 
 // Solve runs the configured pipeline on one instance. It consults
 // s.Cache when set (a transient CacheSize cache is a batch-level
-// feature and does not apply here).
+// feature and does not apply here). Solve is SolveContext with a
+// background context.
 func (s Solver) Solve(in Instance) (Solution, error) {
+	return s.SolveContext(context.Background(), in)
+}
+
+// SolveContext is Solve with cancellation and deadline support: the
+// context is observed at fragment granularity, so a solve of a
+// many-fragment instance stops between fragments once ctx is done and
+// returns ctx.Err() (wrapped). A fragment already running in the DP
+// engine is completed; unit fragments are fast, so cancellation
+// latency is bounded by the heaviest single fragment. A successful
+// return is always a complete, bit-identical Solve result — partial
+// solutions are never returned.
+func (s Solver) SolveContext(ctx context.Context, in Instance) (Solution, error) {
 	rt, err := s.runtime()
 	if err != nil {
 		return Solution{}, err
 	}
-	return s.solveOne(in, rt, s.Cache)
+	return s.solveOne(ctx, in, rt, s.Cache)
 }
 
-func (s Solver) solveOne(in Instance, rt objectiveRuntime, cache *FragmentCache) (Solution, error) {
+// ctxErr converts a done context into the facade's error form.
+func ctxErr(ctx context.Context) error {
+	return fmt.Errorf("gapsched: solve aborted: %w", context.Cause(ctx))
+}
+
+func (s Solver) solveOne(ctx context.Context, in Instance, rt objectiveRuntime, cache *FragmentCache) (Solution, error) {
 	p := s.prepare(in, rt)
 	for i, fr := range p.frags {
+		if ctx.Err() != nil {
+			return Solution{}, ctxErr(ctx)
+		}
 		p.results[i] = s.solveFragment(rt, cache, fr)
 		if p.results[i].err != nil {
 			break // finishInstance reports the first error in order
@@ -358,7 +383,21 @@ type task struct {
 // duplicate fragment first (and on CacheSize, which Solve ignores).
 // Instances are independent; a failure in one does not disturb the
 // others.
+//
+// SolveBatch is SolveBatchContext with a background context.
 func (s Solver) SolveBatch(ins []Instance) []BatchResult {
+	return s.SolveBatchContext(context.Background(), ins)
+}
+
+// SolveBatchContext is SolveBatch with cancellation and deadline
+// support. The context is observed at fragment granularity: once ctx
+// is done, workers stop picking up fragments, already-running
+// fragments are completed, and every instance whose solve did not
+// finish reports ctx's error (instances whose fragments all completed
+// before the cancellation still report their full solution). A nil
+// error in a BatchResult therefore always accompanies a complete,
+// bit-identical solution.
+func (s Solver) SolveBatchContext(ctx context.Context, ins []Instance) []BatchResult {
 	out := make([]BatchResult, len(ins))
 	if len(ins) == 0 {
 		return out
@@ -418,7 +457,12 @@ func (s Solver) SolveBatch(ins []Instance) []BatchResult {
 				tk := queue[qi]
 				p := prepped[tk.inst]
 				if !p.failed.Load() {
-					res := s.solveFragment(rt, cache, p.frags[tk.frag])
+					var res fragResult
+					if ctx.Err() != nil {
+						res = fragResult{err: ctxErr(ctx)}
+					} else {
+						res = s.solveFragment(rt, cache, p.frags[tk.frag])
+					}
 					p.results[tk.frag] = res
 					if res.err != nil {
 						p.failed.Store(true)

@@ -1,0 +1,79 @@
+package gapsched
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// spread builds a feasible instance whose prep plan has several
+// fragments (well-separated job clusters).
+func spread(clusters int) Instance {
+	var jobs []Job
+	for c := 0; c < clusters; c++ {
+		base := c * 100
+		jobs = append(jobs,
+			Job{Release: base, Deadline: base + 3},
+			Job{Release: base + 1, Deadline: base + 4},
+		)
+	}
+	return NewInstance(jobs)
+}
+
+func TestSolveContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := spread(4)
+	if _, err := (Solver{}).SolveContext(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveContext on canceled ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := (Solver{Objective: ObjectivePower, Alpha: 2}).SolveContext(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("power SolveContext on canceled ctx: got %v, want context.Canceled", err)
+	}
+	// Configuration errors are reported even on a dead context: the
+	// runtime is validated before the context is consulted.
+	if _, err := (Solver{Alpha: -1}).SolveContext(ctx, in); err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("config error on canceled ctx: got %v, want alpha validation error", err)
+	}
+}
+
+func TestSolveBatchContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ins := []Instance{spread(3), spread(1), NewInstance(nil)}
+	res := (Solver{Workers: 2}).SolveBatchContext(ctx, ins)
+	for _, r := range res[:2] {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("batch result on canceled ctx: got %v, want context.Canceled", r.Err)
+		}
+	}
+	// A zero-fragment instance never enters the worker queue, so it
+	// completes successfully even on a dead context.
+	if r := res[2]; r.Err != nil || r.Solution.Subinstances != 0 {
+		t.Fatalf("empty instance on canceled ctx: %+v, %v — want success", r.Solution, r.Err)
+	}
+}
+
+func TestSolveContextLiveMatchesSolve(t *testing.T) {
+	in := spread(5)
+	want, err := (Solver{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (Solver{}).SolveContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spans != want.Spans || got.States != want.States || got.Subinstances != want.Subinstances {
+		t.Fatalf("SolveContext = %+v, Solve = %+v", got, want)
+	}
+	batch := (Solver{Workers: 3}).SolveBatchContext(context.Background(), []Instance{in, in})
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+		if r.Solution.Spans != want.Spans {
+			t.Fatalf("batch[%d].Spans = %d, want %d", i, r.Solution.Spans, want.Spans)
+		}
+	}
+}
