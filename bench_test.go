@@ -393,6 +393,80 @@ func BenchmarkE17_FragmentCache(b *testing.B) {
 	}
 }
 
+// BenchmarkE19_IncrementalSession: a single-job delta (add + remove of
+// the same job, so state is iteration-invariant) on a many-fragment
+// live instance, resolved incrementally through a Session versus
+// solved from scratch. The fragments/op metric reports how many
+// fragments the incremental path actually re-solved per delta.
+func BenchmarkE19_IncrementalSession(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	const clusters, perCluster, spacing = 12, 8, 40
+	var jobs []sched.Job
+	for c := 0; c < clusters; c++ {
+		for k := 0; k < perCluster; k++ {
+			r := spacing*c + k + rng.Intn(3)
+			jobs = append(jobs, sched.Job{Release: r, Deadline: r + 2 + rng.Intn(3)})
+		}
+	}
+	delta := sched.Job{Release: spacing * 5, Deadline: spacing*5 + 6}
+	for _, cfg := range []struct {
+		name   string
+		solver Solver
+	}{
+		{"gaps", Solver{}},
+		{"power", Solver{Objective: ObjectivePower, Alpha: 3}},
+	} {
+		b.Run(cfg.name+"/incremental", func(b *testing.B) {
+			sess, err := cfg.solver.Open(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			for _, j := range jobs {
+				if _, err := sess.Add(j); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sess.Resolve(); err != nil {
+				b.Fatal(err)
+			}
+			resolved := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := sess.Add(delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol, err := sess.Resolve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				resolved += sol.ResolvedFragments
+				if err := sess.Remove(id); err != nil {
+					b.Fatal(err)
+				}
+				if sol, err = sess.Resolve(); err != nil {
+					b.Fatal(err)
+				}
+				resolved += sol.ResolvedFragments
+			}
+			b.ReportMetric(float64(resolved)/float64(b.N), "fragments/op")
+		})
+		b.Run(cfg.name+"/scratch", func(b *testing.B) {
+			withDelta := NewInstance(append(append([]sched.Job(nil), jobs...), delta))
+			without := NewInstance(jobs)
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.solver.Solve(withDelta); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cfg.solver.Solve(without); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE15_GridAblation: anchor grid vs full-horizon grid on a
 // sparse instance.
 func BenchmarkE15_GridAblation(b *testing.B) {

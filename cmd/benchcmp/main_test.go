@@ -71,6 +71,54 @@ func TestCompareFlagsRegressionsNewAndMissing(t *testing.T) {
 	}
 }
 
+// New benchmarks — present in the run but absent from the committed
+// baseline, the state right after a PR adds an experiment — must
+// report as "(new)" and never warn or count as regressions, no matter
+// how slow they are or how many there are.
+func TestCompareNewBenchmarksNeverWarn(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkOld": 1000}
+	cases := []struct {
+		name    string
+		current map[string]float64
+	}{
+		{"one new", map[string]float64{
+			"BenchmarkOld": 1000,
+			"BenchmarkE19_IncrementalSession/gaps/incremental": 200000,
+		}},
+		{"new and huge", map[string]float64{
+			"BenchmarkOld": 1000,
+			"BenchmarkNew": 1e12,
+		}},
+		{"several new", map[string]float64{
+			"BenchmarkOld":  1000,
+			"BenchmarkNewA": 5,
+			"BenchmarkNewB": 50,
+			"BenchmarkNewC": 500000,
+		}},
+		{"all new", map[string]float64{
+			"BenchmarkOnlyNew": 777,
+		}},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		if n := compare(baseline, c.current, 20, &out); n != 0 {
+			t.Errorf("%s: %d regressions from new benchmarks:\n%s", c.name, n, out.String())
+		}
+		text := out.String()
+		if strings.Contains(text, "::warning title=bench regression::") {
+			t.Errorf("%s: new benchmark flagged as regression:\n%s", c.name, text)
+		}
+		for name := range c.current {
+			if _, inBase := baseline[name]; !inBase && !strings.Contains(text, name) {
+				t.Errorf("%s: new benchmark %s missing from report:\n%s", c.name, name, text)
+			}
+		}
+		if !strings.Contains(text, "(new)") {
+			t.Errorf("%s: no (new) marker:\n%s", c.name, text)
+		}
+	}
+}
+
 // End-to-end: -update writes a baseline that a subsequent comparison
 // of the same input reads back with zero regressions; warn-only means
 // exit 0 even when a regression is present.

@@ -8,22 +8,36 @@
 //	gapsched -input instance.json -algo power -alpha 3
 //	gapsched -input multi.json -algo approx
 //	gapsched -input multi.json -algo throughput -budget 3
+//	gapsched -stream -algo power -alpha 3 < deltas.txt
 //
 // Algorithms: gaps (Thm 1 exact), power (Thm 2 exact), greedy
 // ([FHKN06] baseline, single processor), edf (online baseline),
 // approx (Thm 3 multi-interval pipeline), naive (matching baseline),
 // throughput (Thm 11 greedy).
 //
+// Stream mode (-stream, gaps and power only) drives an incremental
+// scheduling session instead of a one-shot solve: the input is a
+// line-oriented delta script — "add R D" (or "+ R D") inserts a unit
+// job with window [R,D] and prints its id, "remove ID" (or "- ID")
+// deletes one — and after every delta the evolving optimal cost is
+// re-resolved incrementally (only the schedule fragments the delta
+// touched are re-solved) and printed. Blank lines and #-comments are
+// skipped; an infeasible state is reported and the stream continues.
+//
 // Unknown flags and stray positional arguments exit with status 2 and
 // the usage text, matching the other CLIs.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	gapsched "repro"
 	"repro/internal/cli"
@@ -36,6 +50,8 @@ type options struct {
 	input, algo string
 	alpha       float64
 	budget      int
+	procs       int
+	stream      bool
 	quiet       bool
 }
 
@@ -51,6 +67,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.algo, "algo", "gaps", "gaps | power | greedy | edf | approx | naive | throughput")
 	fs.Float64Var(&o.alpha, "alpha", -1, "transition cost (overrides the file's alpha when ≥ 0)")
 	fs.IntVar(&o.budget, "budget", 2, "span budget for -algo throughput")
+	fs.IntVar(&o.procs, "procs", 1, "processor count for -stream sessions")
+	fs.BoolVar(&o.stream, "stream", false, "read job deltas line by line and resolve incrementally")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the timeline rendering")
 	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
@@ -63,13 +81,14 @@ func main() {
 	if err != nil {
 		os.Exit(cli.Status(err))
 	}
-	if err := run(o.input, o.algo, o.alpha, o.budget, o.quiet, os.Stdout); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "gapsched: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, algo string, alpha float64, budget int, quiet bool, w io.Writer) error {
+func run(o options, w io.Writer) error {
+	input, algo, alpha, budget, quiet := o.input, o.algo, o.alpha, o.budget, o.quiet
 	var r io.Reader = os.Stdin
 	if input != "-" {
 		f, err := os.Open(input)
@@ -78,6 +97,9 @@ func run(input, algo string, alpha float64, budget int, quiet bool, w io.Writer)
 		}
 		defer f.Close()
 		r = f
+	}
+	if o.stream {
+		return runStream(r, algo, alpha, o.procs, w)
 	}
 	file, err := sched.ReadJSON(r)
 	if err != nil {
@@ -196,6 +218,81 @@ func runMulti(mi sched.MultiInstance, algo string, alpha float64, budget int, qu
 		}
 	}
 	return nil
+}
+
+// runStream drives an incremental session from a line-oriented delta
+// script: "add R D"/"+ R D" inserts a job, "remove ID"/"- ID" deletes
+// one, and after every delta the evolving cost is re-resolved
+// incrementally and printed together with the fragment-reuse counters.
+// A negative alpha (the flag default) means 0.
+func runStream(r io.Reader, algo string, alpha float64, procs int, w io.Writer) error {
+	if alpha < 0 {
+		alpha = 0
+	}
+	s := gapsched.Solver{}
+	switch algo {
+	case "gaps":
+	case "power":
+		s = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha}
+	default:
+		return fmt.Errorf("-stream supports gaps and power, not %q", algo)
+	}
+	sess, err := s.Open(procs)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		var what string
+		switch op := fields[0]; {
+		case (op == "add" || op == "+") && len(fields) == 3:
+			rel, err1 := strconv.Atoi(fields[1])
+			dl, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("line %d: bad window %q %q", line, fields[1], fields[2])
+			}
+			id, err := sess.Add(gapsched.Job{Release: rel, Deadline: dl})
+			if err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			what = fmt.Sprintf("+[%d,%d] id=%d", rel, dl, id)
+		case (op == "remove" || op == "-") && len(fields) == 2:
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("line %d: bad job id %q", line, fields[1])
+			}
+			if err := sess.Remove(id); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
+			what = fmt.Sprintf("-id=%d", id)
+		default:
+			return fmt.Errorf("line %d: want \"add R D\" or \"remove ID\", got %q", line, sc.Text())
+		}
+
+		sol, err := sess.Resolve()
+		switch {
+		case errors.Is(err, gapsched.ErrInfeasible):
+			fmt.Fprintf(w, "%-16s jobs=%-4d INFEASIBLE\n", what, sess.Len())
+			continue
+		case err != nil:
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		cost := fmt.Sprintf("spans=%d gaps=%d", sol.Spans, sol.Gaps)
+		if algo == "power" {
+			cost = fmt.Sprintf("power=%.3f (α=%.2f)", sol.Power, alpha)
+		}
+		fmt.Fprintf(w, "%-16s jobs=%-4d frags=%-3d resolved=%-3d reused=%-3d %s\n",
+			what, sess.Len(), sol.Subinstances, sol.ResolvedFragments, sol.ReusedFragments, cost)
+	}
+	return sc.Err()
 }
 
 func printAssignments(w io.Writer, s sched.Schedule) {

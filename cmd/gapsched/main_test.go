@@ -66,7 +66,7 @@ func TestRunOneIntervalAlgorithms(t *testing.T) {
 	})
 	for _, algo := range []string{"gaps", "power", "greedy", "edf"} {
 		var b strings.Builder
-		if err := run(path, algo, -1, 2, false, &b); err != nil {
+		if err := run(options{input: path, algo: algo, alpha: -1, budget: 2}, &b); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if !strings.Contains(b.String(), "t=") {
@@ -87,7 +87,7 @@ func TestRunMultiAlgorithms(t *testing.T) {
 	})
 	for _, algo := range []string{"approx", "naive", "throughput"} {
 		var b strings.Builder
-		if err := run(path, algo, -1, 2, true, &b); err != nil {
+		if err := run(options{input: path, algo: algo, alpha: -1, budget: 2, quiet: true}, &b); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if b.Len() == 0 {
@@ -105,7 +105,7 @@ func TestRunLaysOutMultiprocForMultiAlgos(t *testing.T) {
 		}},
 	})
 	var b strings.Builder
-	if err := run(path, "naive", -1, 2, true, &b); err != nil {
+	if err := run(options{input: path, algo: "naive", alpha: -1, budget: 2, quiet: true}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "laid out") {
@@ -113,18 +113,104 @@ func TestRunLaysOutMultiprocForMultiAlgos(t *testing.T) {
 	}
 }
 
+// writeScript drops a stream-mode delta script into a temp file.
+func writeScript(t *testing.T, script string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deltas.txt")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunStream drives the incremental session mode end to end: adds
+// and removes evolve the printed cost, fragment reuse shows up in the
+// counters, comments are skipped, and an infeasible interlude is
+// reported without killing the stream.
+func TestRunStream(t *testing.T) {
+	path := writeScript(t, `
+# two separated clusters
+add 0 2
++ 1 3
+add 20 22
+# a point-job clash makes it infeasible, then the clash leaves
+add 20 20
+add 20 20
+- 4
+remove 3
+`)
+	var b strings.Builder
+	if err := run(options{input: path, algo: "gaps", alpha: -1, budget: 2, procs: 1, stream: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d output lines, want 7 (one per delta):\n%s", len(lines), out)
+	}
+	for _, want := range []string{
+		"+[0,2] id=0",
+		"spans=1 gaps=0", // first cluster alone
+		"spans=2 gaps=1", // both clusters
+		"INFEASIBLE",     // three point jobs in [20,22]... only after the clash
+		"resolved=1",     // the delta touched one fragment
+		"reused=1",       // the untouched cluster was reused
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream output missing %q:\n%s", want, out)
+		}
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "jobs=3") || !strings.Contains(last, "spans=2") {
+		t.Errorf("final state wrong: %q", last)
+	}
+}
+
+// TestRunStreamPower: the power objective prints evolving power and
+// honors alpha.
+func TestRunStreamPower(t *testing.T) {
+	path := writeScript(t, "add 0 0\nadd 5 5\n")
+	var b strings.Builder
+	if err := run(options{input: path, algo: "power", alpha: 3, budget: 2, procs: 1, stream: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// Two unit jobs 4 idle units apart at α=3: sleeping between them
+	// (2 active + 2·α = 8) beats bridging the gap (6 active + α = 9).
+	if !strings.Contains(b.String(), "power=8.000") {
+		t.Fatalf("expected power=8.000 in:\n%s", b.String())
+	}
+}
+
+// TestRunStreamRejections: malformed scripts, unknown ids, and
+// unsupported algorithms fail with errors naming the offending line.
+func TestRunStreamRejections(t *testing.T) {
+	for name, c := range map[string]struct{ algo, script string }{
+		"bad op":          {"gaps", "frobnicate 1 2\n"},
+		"bad window":      {"gaps", "add one two\n"},
+		"bad id":          {"gaps", "add 0 1\nremove x\n"},
+		"unknown id":      {"gaps", "remove 9\n"},
+		"empty window":    {"gaps", "add 5 1\n"},
+		"multi algorithm": {"approx", "add 0 1\n"},
+	} {
+		path := writeScript(t, c.script)
+		if err := run(options{input: path, algo: c.algo, alpha: -1, budget: 2, procs: 1, stream: true}, &strings.Builder{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestRunRejections(t *testing.T) {
-	if err := run("/nonexistent/file.json", "gaps", -1, 2, true, &strings.Builder{}); err == nil {
+	if err := run(options{input: "/nonexistent/file.json", algo: "gaps", alpha: -1, budget: 2, quiet: true}, &strings.Builder{}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeInstance(t, sched.File{
 		Kind:     sched.KindOneInterval,
 		Instance: &sched.Instance{Procs: 1, Jobs: []sched.Job{{Release: 0, Deadline: 0}}},
 	})
-	if err := run(path, "bogus", -1, 2, true, &strings.Builder{}); err == nil {
+	if err := run(options{input: path, algo: "bogus", alpha: -1, budget: 2, quiet: true}, &strings.Builder{}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if err := run(path, "approx", -1, 2, true, &strings.Builder{}); err != nil {
+	if err := run(options{input: path, algo: "approx", alpha: -1, budget: 2, quiet: true}, &strings.Builder{}); err != nil {
 		t.Fatalf("one-interval should lay out for approx: %v", err)
 	}
 }

@@ -12,10 +12,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve   {"objective":"gaps","procs":2,"jobs":[{"release":0,"deadline":3}]}
-//	POST /v1/batch   {"requests":[...]}
-//	GET  /healthz
-//	GET  /metrics
+//	POST   /v1/solve   {"objective":"gaps","procs":2,"jobs":[{"release":0,"deadline":3}]}
+//	POST   /v1/batch   {"requests":[...]}
+//	POST   /v1/session {"objective":"power","alpha":2,"jobs":[...]}   → {"session":"s1",...}
+//	POST   /v1/session/{id}/delta   {"add":[...],"remove":[3]}
+//	POST   /v1/session/{id}/solve   incremental resolve of the live instance
+//	DELETE /v1/session/{id}
+//	GET    /healthz
+//	GET    /metrics
+//
+// Sessions hold a live job set whose exact solution is maintained
+// incrementally: a delta re-solves only the schedule fragments it
+// touched. Idle sessions expire after -session-ttl.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops, open coalescing windows are flushed so buffered clients still
@@ -61,6 +69,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.cfg.CacheCapacity, "cache", service.DefaultCacheCapacity, "fragment cache capacity (negative disables)")
 	fs.IntVar(&o.cfg.Workers, "workers", 0, "solver workers per dispatch (0 = GOMAXPROCS)")
 	fs.DurationVar(&o.cfg.SolveTimeout, "timeout", 30*time.Second, "per-dispatch solve deadline (0 = none)")
+	fs.DurationVar(&o.cfg.SessionTTL, "session-ttl", service.DefaultSessionTTL, "idle incremental sessions expire after this (negative = never)")
+	fs.IntVar(&o.cfg.MaxSessions, "max-sessions", service.DefaultMaxSessions, "bound on open incremental sessions (negative = unlimited)")
 	fs.DurationVar(&o.grace, "grace", 10*time.Second, "graceful shutdown budget before the listener is torn down")
 	fs.BoolVar(&o.verbose, "v", false, "log every dispatch summary")
 	if err := cli.Parse(fs, args); err != nil {

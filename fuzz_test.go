@@ -123,6 +123,106 @@ func checkFuzzAgreement(t *testing.T, s Solver, in Instance, cost func(Solution)
 	}
 }
 
+// FuzzSessionDeltas decodes bytes as a bounded add/remove delta
+// sequence and replays it through incremental sessions — both
+// objectives, each with and without a shared fragment cache — checking
+// after every delta that Session.Resolve agrees exactly with a
+// from-scratch Solve of the session's snapshot instance under the
+// same configuration: same feasibility verdict, equal cost, valid
+// schedule, and fragment counters that cover the decomposition.
+func FuzzSessionDeltas(f *testing.F) {
+	f.Add([]byte{2, 1, 1, 0, 2, 1, 5, 1, 0, 0, 0, 1, 9, 3})
+	f.Add([]byte{0, 2, 1, 10, 0, 1, 10, 0, 1, 10, 0, 0, 1, 0})
+	f.Add([]byte{7, 0, 1, 0, 5, 1, 30, 5, 1, 12, 2, 0, 0, 0, 1, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		alpha := float64(data[0]%fuzzMaxAlpha) / 2
+		procs := int(data[1]%fuzzMaxProcs) + 1
+		type lane struct {
+			cfg  Solver
+			sess *Session
+		}
+		lanes := make([]lane, 0, 4)
+		for _, cfg := range []Solver{
+			{},
+			{Cache: NewFragmentCache(64)},
+			{Objective: ObjectivePower, Alpha: alpha},
+			{Objective: ObjectivePower, Alpha: alpha, Cache: NewFragmentCache(64)},
+		} {
+			sess, err := cfg.Open(procs)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer sess.Close()
+			lanes = append(lanes, lane{cfg, sess})
+		}
+
+		var live []int
+		deltas := 0
+		for i := 2; i+2 < len(data) && deltas < 12; i += 3 {
+			deltas++
+			if data[i]%4 == 0 && len(live) > 0 {
+				k := int(data[i+1]) % len(live)
+				for _, l := range lanes {
+					if err := l.sess.Remove(live[k]); err != nil {
+						t.Fatalf("Remove(%d): %v", live[k], err)
+					}
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				r := int(data[i+1] % fuzzMaxRelease)
+				j := Job{Release: r, Deadline: r + int(data[i+2]%fuzzMaxSlack)}
+				var id int
+				for li, l := range lanes {
+					got, err := l.sess.Add(j)
+					if err != nil {
+						t.Fatalf("Add(%v): %v", j, err)
+					}
+					if li == 0 {
+						id = got
+					} else if got != id {
+						t.Fatalf("lanes assigned different ids %d and %d", id, got)
+					}
+				}
+				live = append(live, id)
+			}
+			for _, l := range lanes {
+				snapshot := l.sess.Instance()
+				want, wantErr := l.cfg.Solve(snapshot)
+				got, gotErr := l.sess.Resolve()
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("session err %v, scratch err %v (jobs %v procs %d)", gotErr, wantErr, snapshot.Jobs, procs)
+				}
+				if gotErr != nil {
+					if !errors.Is(gotErr, ErrInfeasible) {
+						t.Fatalf("session err %v, want ErrInfeasible", gotErr)
+					}
+					continue
+				}
+				cost := func(sol Solution) float64 {
+					if l.cfg.Objective == ObjectivePower {
+						return sol.Power
+					}
+					return float64(sol.Spans)
+				}
+				if cost(got) != cost(want) {
+					t.Fatalf("session cost %v, scratch %v (jobs %v procs %d alpha %v)",
+						cost(got), cost(want), snapshot.Jobs, procs, alpha)
+				}
+				if err := got.Schedule.Validate(snapshot); err != nil {
+					t.Fatalf("session schedule invalid: %v (jobs %v)", err, snapshot.Jobs)
+				}
+				if got.ResolvedFragments+got.ReusedFragments != got.Subinstances {
+					t.Fatalf("counters %d+%d != %d fragments",
+						got.ResolvedFragments, got.ReusedFragments, got.Subinstances)
+				}
+			}
+		}
+	})
+}
+
 func FuzzSolveGaps(f *testing.F) {
 	seedFuzzCorpus(f)
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -176,8 +176,14 @@ type Stats struct {
 	// computation; each such call is also counted in Hits once the
 	// leader succeeds.
 	Waits int64
-	// Evictions counts entries dropped by the per-shard LRU bound.
+	// Evictions counts entries dropped by the per-shard LRU bound;
+	// together with Entries it makes cache pressure observable — a
+	// growing eviction rate at a pinned Entries means the working set
+	// no longer fits.
 	Evictions int64
+	// Entries is the number of entries currently stored (Len at
+	// snapshot time).
+	Entries int
 }
 
 // Stats snapshots the cache counters. The counters are read
@@ -189,6 +195,7 @@ func (c *Cache[V]) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Waits:     c.waits.Load(),
 		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
 	}
 }
 

@@ -71,6 +71,38 @@ func TestCapacityBoundAndEviction(t *testing.T) {
 	if st.Evictions+int64(c.Len()) != int64(n) {
 		t.Fatalf("evictions %d + len %d != inserted %d", st.Evictions, c.Len(), n)
 	}
+	if st.Entries != c.Len() {
+		t.Fatalf("Stats().Entries = %d, Len() = %d", st.Entries, c.Len())
+	}
+}
+
+// TestStatsEntriesTracksSize: the Entries counter in a Stats snapshot
+// follows the stored-entry count as the cache fills and then holds at
+// the bound under pressure while Evictions keeps growing — the
+// observable signature of a working set outgrowing the cache.
+func TestStatsEntriesTracksSize(t *testing.T) {
+	c := New[int](numShards) // 1 entry per shard
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("fresh cache Entries = %d", st.Entries)
+	}
+	c.Do("only", func() int { return 1 })
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("Entries = %d after one insert", st.Entries)
+	}
+	var prevEvictions int64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			c.Do(fmt.Sprintf("pressure-%d-%d", round, i), func() int { return i })
+		}
+		st := c.Stats()
+		if st.Entries > numShards {
+			t.Fatalf("round %d: Entries = %d exceeds capacity %d", round, st.Entries, numShards)
+		}
+		if st.Evictions <= prevEvictions {
+			t.Fatalf("round %d: evictions stalled at %d under pressure", round, st.Evictions)
+		}
+		prevEvictions = st.Evictions
+	}
 }
 
 func TestLRUKeepsRecentlyUsed(t *testing.T) {

@@ -57,6 +57,16 @@ type Plan struct {
 	n     int
 }
 
+// Splits reports whether a forced-idle run of idle time units separates
+// sub-instances under split threshold splitWidth: the run must be
+// non-empty and at least splitWidth wide. This single predicate is what
+// Decompose's sweep and the incremental tracker (internal/incr) share —
+// both layers must agree on every boundary or incremental solutions
+// would drift from from-scratch ones.
+func Splits(idle int, splitWidth float64) bool {
+	return idle >= 1 && float64(idle) >= splitWidth
+}
+
 // ForGaps decomposes in for the span objective: every forced-idle run
 // splits.
 func ForGaps(in sched.Instance) *Plan { return Decompose(in, 1) }
@@ -121,10 +131,8 @@ func Decompose(in sched.Instance, splitWidth float64) *Plan {
 	}
 	for _, j := range order {
 		job := in.Jobs[j]
-		if len(cur) > 0 {
-			if idle := job.Release - curEnd - 1; idle >= 1 && float64(idle) >= splitWidth {
-				flush()
-			}
+		if len(cur) > 0 && Splits(job.Release-curEnd-1, splitWidth) {
+			flush()
 		}
 		cur = append(cur, j)
 		if job.Deadline > curEnd || len(cur) == 1 {

@@ -32,6 +32,10 @@ const (
 	ErrCodeCanceled    = "canceled"
 	ErrCodeUnavailable = "unavailable"
 	ErrCodeInternal    = "internal"
+	// ErrCodeNotFound is specific to the stateful /v1/session
+	// endpoints: the named session (or a job id inside a delta) does
+	// not exist — it may have been deleted or evicted by the TTL.
+	ErrCodeNotFound = "not_found"
 )
 
 // SolveRequest is the wire form of one scheduling request, the JSON
@@ -106,6 +110,11 @@ type SolveResponse struct {
 	States       int `json:"states,omitempty"`
 	Subinstances int `json:"subinstances,omitempty"`
 	CacheHits    int `json:"cacheHits,omitempty"`
+	// ResolvedFragments and ReusedFragments are set by session solves
+	// (/v1/session/{id}/solve): how many fragments the incremental
+	// resolve actually re-solved versus served from session state.
+	ResolvedFragments int `json:"resolvedFragments,omitempty"`
+	ReusedFragments   int `json:"reusedFragments,omitempty"`
 	// Err is set when the request failed; all other fields are zero.
 	Err *WireError `json:"error,omitempty"`
 }
@@ -158,6 +167,113 @@ func (r BatchResponse) Validate() error {
 	return nil
 }
 
+// SessionCreateRequest is the wire form of opening an incremental
+// scheduling session, the JSON body of POST /v1/session: a solver
+// configuration plus an optional initial job set. Zero Objective means
+// WireGaps and zero Procs means one processor, like SolveRequest.
+type SessionCreateRequest struct {
+	// Objective is WireGaps or WirePower ("" = WireGaps).
+	Objective string `json:"objective,omitempty"`
+	// Alpha is the sleep→active transition cost used by WirePower.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Procs is the processor count (0 = 1).
+	Procs int `json:"procs,omitempty"`
+	// Jobs is the initial job set; it may be empty (jobs arrive as
+	// deltas) and may be infeasible (the first solve reports it).
+	Jobs []Job `json:"jobs,omitempty"`
+}
+
+// Validate checks the request: a known objective, a non-negative
+// alpha, a representable processor count, and non-empty job windows.
+func (r SessionCreateRequest) Validate() error {
+	switch r.Objective {
+	case "", WireGaps, WirePower:
+	default:
+		return fmt.Errorf("sched: unknown objective %q (want %q or %q)", r.Objective, WireGaps, WirePower)
+	}
+	if r.Alpha < 0 {
+		return fmt.Errorf("sched: negative alpha %v", r.Alpha)
+	}
+	if r.Procs < 0 {
+		return fmt.Errorf("sched: negative processor count %d", r.Procs)
+	}
+	for i, j := range r.Jobs {
+		if !j.Valid() {
+			return fmt.Errorf("sched: job %d has empty window [%d,%d]", i, j.Release, j.Deadline)
+		}
+	}
+	return nil
+}
+
+// SessionDeltaRequest is the wire form of one job-churn step, the JSON
+// body of POST /v1/session/{id}/delta. Removals are applied before
+// additions; the whole delta applies atomically — an unknown removal
+// id or an invalid added job rejects the delta without mutating the
+// session.
+type SessionDeltaRequest struct {
+	// Add lists jobs entering the instance; the response returns their
+	// assigned ids positionally.
+	Add []Job `json:"add,omitempty"`
+	// Remove lists job ids leaving the instance.
+	Remove []int `json:"remove,omitempty"`
+}
+
+// Validate checks the delta: it must carry at least one operation,
+// every added job needs a non-empty window, and no id is removed
+// twice. (Whether removal ids are live is checked against the session
+// by the service, not here.)
+func (r SessionDeltaRequest) Validate() error {
+	if len(r.Add) == 0 && len(r.Remove) == 0 {
+		return fmt.Errorf("sched: session delta carries no operations")
+	}
+	for i, j := range r.Add {
+		if !j.Valid() {
+			return fmt.Errorf("sched: added job %d has empty window [%d,%d]", i, j.Release, j.Deadline)
+		}
+	}
+	seen := make(map[int]bool, len(r.Remove))
+	for _, id := range r.Remove {
+		if seen[id] {
+			return fmt.Errorf("sched: job %d removed twice in one delta", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// SessionResponse is the wire form of every session-management outcome
+// (create, delta, delete); session *solves* answer with SolveResponse.
+// Exactly one of {session fields, Err} is meaningful.
+type SessionResponse struct {
+	// Session is the session id addressed by later requests.
+	Session string `json:"session,omitempty"`
+	// JobIDs are the ids assigned to this request's added jobs,
+	// positionally (create: the initial jobs; delta: the Add list).
+	JobIDs []int `json:"jobIds,omitempty"`
+	// Jobs is the number of live jobs after the operation.
+	Jobs int `json:"jobs,omitempty"`
+	// Err is set when the request failed; all other fields are zero.
+	Err *WireError `json:"error,omitempty"`
+}
+
+// Validate checks the response invariant: a session id or an error
+// with a code, never both.
+func (r SessionResponse) Validate() error {
+	if r.Err != nil {
+		if r.Session != "" || len(r.JobIDs) > 0 || r.Jobs != 0 {
+			return fmt.Errorf("sched: session response carries both state and error %q", r.Err.Code)
+		}
+		if r.Err.Code == "" {
+			return fmt.Errorf("sched: session response error has no code")
+		}
+		return nil
+	}
+	if r.Session == "" {
+		return fmt.Errorf("sched: session response carries neither a session id nor an error")
+	}
+	return nil
+}
+
 // decodeStrict decodes exactly one JSON value into v, rejecting
 // unknown fields and trailing garbage — the shared strictness of every
 // wire decoder below.
@@ -201,6 +317,44 @@ func DecodeBatchRequest(r io.Reader) (BatchRequest, error) {
 		return BatchRequest{}, err
 	}
 	return req, nil
+}
+
+// DecodeSessionCreateRequest decodes and validates one
+// SessionCreateRequest.
+func DecodeSessionCreateRequest(r io.Reader) (SessionCreateRequest, error) {
+	var req SessionCreateRequest
+	if err := decodeStrict(r, &req, "session create request"); err != nil {
+		return SessionCreateRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return SessionCreateRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeSessionDeltaRequest decodes and validates one
+// SessionDeltaRequest.
+func DecodeSessionDeltaRequest(r io.Reader) (SessionDeltaRequest, error) {
+	var req SessionDeltaRequest
+	if err := decodeStrict(r, &req, "session delta request"); err != nil {
+		return SessionDeltaRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return SessionDeltaRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeSessionResponse decodes and validates one SessionResponse.
+func DecodeSessionResponse(r io.Reader) (SessionResponse, error) {
+	var resp SessionResponse
+	if err := decodeStrict(r, &resp, "session response"); err != nil {
+		return SessionResponse{}, err
+	}
+	if err := resp.Validate(); err != nil {
+		return SessionResponse{}, err
+	}
+	return resp, nil
 }
 
 // DecodeSolveResponse decodes and validates one SolveResponse.

@@ -160,6 +160,108 @@ func TestWireResponseRejects(t *testing.T) {
 	}
 }
 
+// Session wire round trips: create and delta requests and the shared
+// session-management response survive encode → strict decode for all
+// payload shapes.
+func TestWireSessionRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		sreq := randWireRequest(rng)
+		creq := SessionCreateRequest{Objective: sreq.Objective, Alpha: sreq.Alpha, Procs: sreq.Procs, Jobs: sreq.Jobs}
+		if err := creq.Validate(); err != nil {
+			t.Fatalf("generated create request invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(creq); err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := DecodeSessionCreateRequest(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode create: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotC, creq) {
+			t.Fatalf("trial %d: create round trip:\n got %+v\nwant %+v", trial, gotC, creq)
+		}
+
+		dreq := SessionDeltaRequest{}
+		for i := rng.Intn(4); i >= 0; i-- {
+			r := rng.Intn(30)
+			dreq.Add = append(dreq.Add, Job{Release: r, Deadline: r + rng.Intn(6)})
+		}
+		for _, id := range rng.Perm(20)[:rng.Intn(3)] {
+			dreq.Remove = append(dreq.Remove, id)
+		}
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(dreq); err != nil {
+			t.Fatal(err)
+		}
+		gotD, err := DecodeSessionDeltaRequest(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode delta: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotD, dreq) {
+			t.Fatalf("trial %d: delta round trip:\n got %+v\nwant %+v", trial, gotD, dreq)
+		}
+
+		resp := SessionResponse{Session: "s1", Jobs: rng.Intn(9)}
+		for i := rng.Intn(4); i > 0; i-- {
+			resp.JobIDs = append(resp.JobIDs, rng.Intn(20))
+		}
+		if rng.Intn(3) == 0 {
+			resp = SessionResponse{Err: &WireError{Code: ErrCodeNotFound, Message: "no session s9"}}
+		}
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		gotR, err := DecodeSessionResponse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode session response: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotR, resp) {
+			t.Fatalf("trial %d: session response round trip:\n got %+v\nwant %+v", trial, gotR, resp)
+		}
+	}
+}
+
+func TestWireSessionRejects(t *testing.T) {
+	creates := map[string]string{
+		"unknown objective": `{"objective":"speed"}`,
+		"negative alpha":    `{"alpha":-2}`,
+		"negative procs":    `{"procs":-1}`,
+		"empty window":      `{"jobs":[{"release":3,"deadline":1}]}`,
+		"unknown field":     `{"ttl":30}`,
+		"trailing garbage":  `{} {}`,
+	}
+	for name, body := range creates {
+		if _, err := DecodeSessionCreateRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("create %s: accepted %s", name, body)
+		}
+	}
+	deltas := map[string]string{
+		"no operations":    `{}`,
+		"empty window":     `{"add":[{"release":3,"deadline":1}]}`,
+		"unknown field":    `{"add":[],"drop":[1]}`,
+		"trailing garbage": `{"remove":[1]} {}`,
+	}
+	for name, body := range deltas {
+		if _, err := DecodeSessionDeltaRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("delta %s: accepted %s", name, body)
+		}
+	}
+	responses := map[string]string{
+		"state and error":    `{"session":"s1","error":{"code":"not_found","message":"x"}}`,
+		"error without code": `{"error":{"code":"","message":"x"}}`,
+		"neither":            `{}`,
+		"ids without id":     `{"jobIds":[1,2]}`,
+	}
+	for name, body := range responses {
+		if _, err := DecodeSessionResponse(strings.NewReader(body)); err == nil {
+			t.Errorf("response %s: accepted %s", name, body)
+		}
+	}
+}
+
 // The batch envelope error is itself part of the wire contract: it
 // round-trips, and mixing it with element responses is rejected.
 func TestWireBatchEnvelopeError(t *testing.T) {

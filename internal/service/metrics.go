@@ -21,10 +21,18 @@ type metrics struct {
 	coalesced     atomic.Int64 // solve requests that shared a dispatch with ≥1 peer
 	inflight      atomic.Int64 // HTTP requests currently being served
 
+	sessionRequests atomic.Int64 // requests to any /v1/session endpoint
+	sessionDeltas   atomic.Int64 // deltas applied to sessions
+	sessionSolves   atomic.Int64 // incremental session resolves served
+	sessionsCreated atomic.Int64 // sessions opened
+	sessionsClosed  atomic.Int64 // sessions deleted by clients or shutdown
+	sessionsExpired atomic.Int64 // sessions reclaimed by the TTL
+
 	errBadRequest  atomic.Int64
 	errInfeasible  atomic.Int64
 	errCanceled    atomic.Int64
 	errUnavailable atomic.Int64
+	errNotFound    atomic.Int64
 	errInternal    atomic.Int64
 }
 
@@ -39,14 +47,17 @@ func (m *metrics) bumpError(code string) {
 		m.errCanceled.Add(1)
 	case sched.ErrCodeUnavailable:
 		m.errUnavailable.Add(1)
+	case sched.ErrCodeNotFound:
+		m.errNotFound.Add(1)
 	default:
 		m.errInternal.Add(1)
 	}
 }
 
 // write renders the counters. buffered is the coalescer's current
-// open-window occupancy; cache may be nil (caching disabled).
-func (m *metrics) write(w io.Writer, buffered int, cache *gapsched.FragmentCache) {
+// open-window occupancy, sessionsOpen the live session count; cache
+// may be nil (caching disabled).
+func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched.FragmentCache) {
 	counter := func(name, help string, pairs ...any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 		for i := 0; i < len(pairs); i += 2 {
@@ -59,7 +70,8 @@ func (m *metrics) write(w io.Writer, buffered int, cache *gapsched.FragmentCache
 	}
 	counter("gapschedd_requests_total", "Requests received, by endpoint.",
 		`endpoint="solve"`, m.solveRequests.Load(),
-		`endpoint="batch"`, m.batchRequests.Load())
+		`endpoint="batch"`, m.batchRequests.Load(),
+		`endpoint="session"`, m.sessionRequests.Load())
 	counter("gapschedd_batch_items_total", "Requests carried inside /v1/batch envelopes.",
 		"", m.batchItems.Load())
 	counter("gapschedd_dispatches_total", "Solver dispatches (each runs one SolveBatch).",
@@ -71,7 +83,16 @@ func (m *metrics) write(w io.Writer, buffered int, cache *gapsched.FragmentCache
 		`code="infeasible"`, m.errInfeasible.Load(),
 		`code="canceled"`, m.errCanceled.Load(),
 		`code="unavailable"`, m.errUnavailable.Load(),
+		`code="not_found"`, m.errNotFound.Load(),
 		`code="internal"`, m.errInternal.Load())
+	counter("gapschedd_session_events_total", "Incremental-session lifecycle and usage events.",
+		`event="created"`, m.sessionsCreated.Load(),
+		`event="closed"`, m.sessionsClosed.Load(),
+		`event="expired"`, m.sessionsExpired.Load(),
+		`event="delta"`, m.sessionDeltas.Load(),
+		`event="solve"`, m.sessionSolves.Load())
+	fmt.Fprintf(w, "# HELP gapschedd_sessions_open Incremental sessions currently live.\n"+
+		"# TYPE gapschedd_sessions_open gauge\ngapschedd_sessions_open %d\n", sessionsOpen)
 	fmt.Fprintf(w, "# HELP gapschedd_inflight_requests HTTP requests currently being served.\n"+
 		"# TYPE gapschedd_inflight_requests gauge\ngapschedd_inflight_requests %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "# HELP gapschedd_buffered_requests Requests waiting in open coalescing windows.\n"+
@@ -84,6 +105,6 @@ func (m *metrics) write(w io.Writer, buffered int, cache *gapsched.FragmentCache
 			`event="wait"`, st.Waits,
 			`event="eviction"`, st.Evictions)
 		fmt.Fprintf(w, "# HELP gapschedd_fragcache_entries Fragment solutions currently cached.\n"+
-			"# TYPE gapschedd_fragcache_entries gauge\ngapschedd_fragcache_entries %d\n", cache.Len())
+			"# TYPE gapschedd_fragcache_entries gauge\ngapschedd_fragcache_entries %d\n", st.Entries)
 	}
 }

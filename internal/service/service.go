@@ -8,10 +8,14 @@
 // demultiplexed back per request and are bit-identical to direct
 // Solve calls. Endpoints:
 //
-//	POST /v1/solve   one sched.SolveRequest  → sched.SolveResponse
-//	POST /v1/batch   one sched.BatchRequest  → sched.BatchResponse
-//	GET  /healthz    liveness probe
-//	GET  /metrics    Prometheus text exposition of the counters
+//	POST   /v1/solve             one sched.SolveRequest  → sched.SolveResponse
+//	POST   /v1/batch             one sched.BatchRequest  → sched.BatchResponse
+//	POST   /v1/session           open an incremental session (session.go)
+//	POST   /v1/session/{id}/delta  apply job add/remove deltas
+//	POST   /v1/session/{id}/solve  incremental resolve (dirty fragments only)
+//	DELETE /v1/session/{id}      close a session
+//	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text exposition of the counters
 //
 // The wire format is defined in internal/sched (wire.go); DESIGN.md §2
 // describes where this layer sits in the pipeline.
@@ -36,6 +40,11 @@ const (
 	DefaultMaxBatch = 64
 	// DefaultCacheCapacity sizes the shared fragment cache.
 	DefaultCacheCapacity = 1 << 16
+	// DefaultSessionTTL is how long an idle incremental session lives
+	// before eviction reclaims it.
+	DefaultSessionTTL = 5 * time.Minute
+	// DefaultMaxSessions bounds the session registry.
+	DefaultMaxSessions = 1 << 12
 	// maxBodyBytes bounds a request body; a million-job instance is
 	// ~30 MB and far beyond what the exact DP should be fed over HTTP.
 	maxBodyBytes = 8 << 20
@@ -64,16 +73,26 @@ type Config struct {
 	// coalesced dispatches are shared and honor only this timeout.
 	// Zero means no deadline.
 	SolveTimeout time.Duration
+	// SessionTTL is how long an idle /v1/session session survives
+	// before it is evicted (0 = DefaultSessionTTL; negative disables
+	// expiry). The clock resets on every request that addresses the
+	// session.
+	SessionTTL time.Duration
+	// MaxSessions bounds how many sessions may be open at once
+	// (0 = DefaultMaxSessions; negative means unlimited). Creates
+	// beyond the bound are rejected as unavailable.
+	MaxSessions int
 }
 
 // Server is the daemon: an http.Handler plus the shared cache and the
 // coalescer. Construct with New; close with Close.
 type Server struct {
-	cfg   Config
-	cache *gapsched.FragmentCache
-	co    *coalescer
-	met   metrics
-	mux   *http.ServeMux
+	cfg      Config
+	cache    *gapsched.FragmentCache
+	co       *coalescer
+	sessions *sessionRegistry
+	met      metrics
+	mux      *http.ServeMux
 }
 
 // New builds a Server from cfg, applying the documented defaults.
@@ -84,13 +103,24 @@ func New(cfg Config) *Server {
 	if cfg.CacheCapacity == 0 {
 		cfg.CacheCapacity = DefaultCacheCapacity
 	}
+	if cfg.SessionTTL == 0 {
+		cfg.SessionTTL = DefaultSessionTTL
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	if cfg.CacheCapacity > 0 {
 		s.cache = gapsched.NewFragmentCache(cfg.CacheCapacity)
 	}
 	s.co = newCoalescer(cfg.Window, cfg.MaxBatch, cfg.SolveTimeout, &s.met, s.solverFor)
+	s.sessions = newSessionRegistry(cfg.SessionTTL, cfg.MaxSessions, &s.met)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/session/{id}/delta", s.handleSessionDelta)
+	s.mux.HandleFunc("POST /v1/session/{id}/solve", s.handleSessionSolve)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -108,11 +138,14 @@ func (s *Server) solverFor(key solveKey) gapsched.Solver {
 
 // Close gracefully shuts the solving side down: new requests are
 // rejected with ErrShuttingDown, every open coalescing window is
-// dispatched so buffered clients still get their answers, and all
-// in-flight dispatches are waited for. The HTTP listener's lifecycle
-// (http.Server.Shutdown) is the caller's concern.
+// dispatched so buffered clients still get their answers, all
+// in-flight dispatches are waited for, and every open incremental
+// session is closed (waiting out in-flight session operations). The
+// HTTP listener's lifecycle (http.Server.Shutdown) is the caller's
+// concern.
 func (s *Server) Close() {
 	s.co.close()
+	s.sessions.close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -128,6 +161,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type Stats struct {
 	SolveRequests, BatchRequests, BatchItems int64
 	Dispatches, Coalesced                    int64
+	// Session counters: requests to any /v1/session endpoint, deltas
+	// applied, incremental solves served, and the registry's lifecycle
+	// tallies.
+	SessionRequests, SessionDeltas, SessionSolves    int64
+	SessionsCreated, SessionsClosed, SessionsExpired int64
+	// SessionsOpen is the number of sessions currently live.
+	SessionsOpen int
 	// Buffered is the number of requests currently waiting in open
 	// coalescing windows.
 	Buffered     int
@@ -139,23 +179,31 @@ type Stats struct {
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		SolveRequests: s.met.solveRequests.Load(),
-		BatchRequests: s.met.batchRequests.Load(),
-		BatchItems:    s.met.batchItems.Load(),
-		Dispatches:    s.met.dispatches.Load(),
-		Coalesced:     s.met.coalesced.Load(),
-		Buffered:      s.co.buffered(),
+		SolveRequests:   s.met.solveRequests.Load(),
+		BatchRequests:   s.met.batchRequests.Load(),
+		BatchItems:      s.met.batchItems.Load(),
+		Dispatches:      s.met.dispatches.Load(),
+		Coalesced:       s.met.coalesced.Load(),
+		SessionRequests: s.met.sessionRequests.Load(),
+		SessionDeltas:   s.met.sessionDeltas.Load(),
+		SessionSolves:   s.met.sessionSolves.Load(),
+		SessionsCreated: s.met.sessionsCreated.Load(),
+		SessionsClosed:  s.met.sessionsClosed.Load(),
+		SessionsExpired: s.met.sessionsExpired.Load(),
+		SessionsOpen:    s.sessions.open(),
+		Buffered:        s.co.buffered(),
 		Errors: map[string]int64{
 			sched.ErrCodeBadRequest:  s.met.errBadRequest.Load(),
 			sched.ErrCodeInfeasible:  s.met.errInfeasible.Load(),
 			sched.ErrCodeCanceled:    s.met.errCanceled.Load(),
 			sched.ErrCodeUnavailable: s.met.errUnavailable.Load(),
+			sched.ErrCodeNotFound:    s.met.errNotFound.Load(),
 			sched.ErrCodeInternal:    s.met.errInternal.Load(),
 		},
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
-		st.CacheEntries = s.cache.Len()
+		st.CacheEntries = st.Cache.Entries
 	}
 	return st
 }
@@ -188,15 +236,18 @@ func wireOutcome(out outcome) sched.SolveResponse {
 }
 
 // wireError classifies a solver-side error. Requests are validated
-// before they reach the solver, so anything but infeasibility or a
-// context cut-off is an internal fault.
+// before they reach the solver, so anything but infeasibility, a
+// context cut-off, or a session lifecycle race is an internal fault.
 func wireError(err error) *sched.WireError {
 	code := sched.ErrCodeInternal
 	switch {
 	case errors.Is(err, gapsched.ErrInfeasible):
 		code = sched.ErrCodeInfeasible
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, errSessionsFull):
 		code = sched.ErrCodeUnavailable
+	case errors.Is(err, gapsched.ErrSessionClosed):
+		// The session was deleted or expired between lookup and use.
+		code = sched.ErrCodeNotFound
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = sched.ErrCodeCanceled
 	}
@@ -214,6 +265,8 @@ func httpStatus(code string) int {
 		return http.StatusGatewayTimeout
 	case sched.ErrCodeUnavailable:
 		return http.StatusServiceUnavailable
+	case sched.ErrCodeNotFound:
+		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
 }
@@ -328,5 +381,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.co.buffered(), s.cache)
+	s.met.write(w, s.co.buffered(), s.sessions.open(), s.cache)
 }

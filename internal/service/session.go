@@ -1,0 +1,332 @@
+package service
+
+// The daemon's stateful tier: a registry of incremental scheduling
+// sessions (gapsched.Session) addressed by id over the /v1/session
+// endpoints. Sessions hold cross-request state — a live job set and
+// its solved fragment decomposition — so the registry bounds them
+// (MaxSessions), expires the idle ones (SessionTTL, enforced lazily on
+// access and by a background sweeper), and closes every survivor on
+// graceful shutdown. Session fragment solves run over the same shared
+// FragmentCache as the one-shot endpoints, so a fragment solved for a
+// coalesced batch is a session cache hit and vice versa.
+//
+//	POST   /v1/session             sched.SessionCreateRequest → sched.SessionResponse
+//	POST   /v1/session/{id}/delta  sched.SessionDeltaRequest  → sched.SessionResponse
+//	POST   /v1/session/{id}/solve  (no body)                  → sched.SolveResponse
+//	DELETE /v1/session/{id}                                   → sched.SessionResponse
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	gapsched "repro"
+	"repro/internal/sched"
+)
+
+// errSessionsFull rejects creates once MaxSessions sessions are open;
+// it maps to the unavailable wire code (retry later or elsewhere).
+var errSessionsFull = errors.New("service: session table full")
+
+// sessionEntry is one live session plus its bookkeeping. ops
+// serializes whole endpoint operations (a delta's validate+apply, a
+// solve) so deltas are atomic even though the facade Session also
+// locks per call.
+type sessionEntry struct {
+	ops      sync.Mutex
+	sess     *gapsched.Session
+	key      solveKey
+	lastUsed time.Time // guarded by the registry mutex
+}
+
+// sessionRegistry owns the id → session table, TTL eviction, and the
+// shutdown sweep.
+type sessionRegistry struct {
+	ttl time.Duration // ≤ 0 disables expiry
+	max int
+	met *metrics
+
+	mu     sync.Mutex
+	byID   map[string]*sessionEntry
+	nextID int64
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newSessionRegistry(ttl time.Duration, max int, met *metrics) *sessionRegistry {
+	r := &sessionRegistry{
+		ttl:  ttl,
+		max:  max,
+		met:  met,
+		byID: make(map[string]*sessionEntry),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if ttl > 0 {
+		go r.sweep()
+	} else {
+		close(r.done)
+	}
+	return r
+}
+
+// sweep expires idle sessions in the background, often enough that an
+// abandoned session outlives its TTL by at most ~half a TTL. Lazy
+// expiry on access keeps the TTL exact for addressed sessions; the
+// sweeper is what reclaims the never-addressed ones.
+func (r *sessionRegistry) sweep() {
+	defer close(r.done)
+	interval := max(r.ttl/2, 10*time.Millisecond)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-ticker.C:
+			r.expireIdle(now)
+		}
+	}
+}
+
+// expireIdle closes every session idle past the TTL.
+func (r *sessionRegistry) expireIdle(now time.Time) {
+	var victims []*sessionEntry
+	r.mu.Lock()
+	for id, e := range r.byID {
+		if now.Sub(e.lastUsed) > r.ttl {
+			delete(r.byID, id)
+			victims = append(victims, e)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range victims {
+		e.sess.Close()
+		r.met.sessionsExpired.Add(1)
+	}
+}
+
+// create opens a session and registers it.
+func (r *sessionRegistry) create(s gapsched.Solver, key solveKey, procs int) (string, *sessionEntry, error) {
+	sess, err := s.Open(procs)
+	if err != nil {
+		return "", nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return "", nil, ErrShuttingDown
+	}
+	if r.max > 0 && len(r.byID) >= r.max {
+		return "", nil, fmt.Errorf("service: %w: %d sessions open", errSessionsFull, len(r.byID))
+	}
+	r.nextID++
+	id := "s" + strconv.FormatInt(r.nextID, 10)
+	r.byID[id] = &sessionEntry{sess: sess, key: key, lastUsed: time.Now()}
+	r.met.sessionsCreated.Add(1)
+	return id, r.byID[id], nil
+}
+
+// lookup returns the live entry for id, refreshing its TTL clock. A
+// session idle past the TTL is expired on the spot and reported as
+// missing, so expiry does not depend on sweeper timing.
+func (r *sessionRegistry) lookup(id string) (*sessionEntry, bool) {
+	now := time.Now()
+	r.mu.Lock()
+	e, ok := r.byID[id]
+	if ok && r.ttl > 0 && now.Sub(e.lastUsed) > r.ttl {
+		delete(r.byID, id)
+		r.mu.Unlock()
+		e.sess.Close()
+		r.met.sessionsExpired.Add(1)
+		return nil, false
+	}
+	if ok {
+		e.lastUsed = now
+	}
+	r.mu.Unlock()
+	return e, ok
+}
+
+// remove deletes id from the table and closes its session. Closing
+// waits for an in-flight operation on the session to finish, so
+// delete-while-solving is safe: the solve completes with its result,
+// later operations see a missing session.
+func (r *sessionRegistry) remove(id string) bool {
+	r.mu.Lock()
+	e, ok := r.byID[id]
+	delete(r.byID, id)
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.sess.Close()
+	r.met.sessionsClosed.Add(1)
+	return true
+}
+
+// open returns the number of live sessions.
+func (r *sessionRegistry) open() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// close rejects new sessions, stops the sweeper, and closes every open
+// session (waiting out their in-flight operations) — the registry's
+// share of graceful shutdown.
+func (r *sessionRegistry) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.closed = true
+	victims := make([]*sessionEntry, 0, len(r.byID))
+	for id, e := range r.byID {
+		delete(r.byID, id)
+		victims = append(victims, e)
+	}
+	r.mu.Unlock()
+	close(r.stop)
+	for _, e := range victims {
+		e.sess.Close()
+		r.met.sessionsClosed.Add(1)
+	}
+	<-r.done
+}
+
+// handleSessionCreate serves POST /v1/session.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.met.sessionRequests.Add(1)
+	req, err := sched.DecodeSessionCreateRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeSessionError(w, &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()})
+		return
+	}
+	key := keyFor(sched.SolveRequest{Objective: req.Objective, Alpha: req.Alpha})
+	procs := req.Procs
+	if procs == 0 {
+		procs = 1
+	}
+	id, e, err := s.sessions.create(s.solverFor(key), key, procs)
+	if err != nil {
+		s.writeSessionError(w, wireError(err))
+		return
+	}
+	resp := sched.SessionResponse{Session: id, Jobs: len(req.Jobs)}
+	e.ops.Lock()
+	for _, j := range req.Jobs {
+		jid, err := e.sess.Add(j)
+		if err != nil {
+			// Unreachable after wire validation; fail the create whole.
+			e.ops.Unlock()
+			s.sessions.remove(id)
+			s.writeSessionError(w, wireError(err))
+			return
+		}
+		resp.JobIDs = append(resp.JobIDs, jid)
+	}
+	e.ops.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelta serves POST /v1/session/{id}/delta. The delta is
+// atomic: every removal id is verified against the live session before
+// any mutation, so a not_found delta leaves the session untouched.
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	s.met.sessionRequests.Add(1)
+	id := r.PathValue("id")
+	req, err := sched.DecodeSessionDeltaRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeSessionError(w, &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()})
+		return
+	}
+	e, ok := s.sessions.lookup(id)
+	if !ok {
+		s.writeSessionError(w, noSession(id))
+		return
+	}
+	e.ops.Lock()
+	defer e.ops.Unlock()
+	for _, jid := range req.Remove {
+		if _, live := e.sess.Job(jid); !live {
+			s.writeSessionError(w, &sched.WireError{
+				Code:    sched.ErrCodeNotFound,
+				Message: fmt.Sprintf("session %s has no job %d", id, jid),
+			})
+			return
+		}
+	}
+	resp := sched.SessionResponse{Session: id}
+	for _, jid := range req.Remove {
+		if err := e.sess.Remove(jid); err != nil {
+			s.writeSessionError(w, wireError(err))
+			return
+		}
+	}
+	for _, j := range req.Add {
+		jid, err := e.sess.Add(j)
+		if err != nil {
+			s.writeSessionError(w, wireError(err))
+			return
+		}
+		resp.JobIDs = append(resp.JobIDs, jid)
+	}
+	s.met.sessionDeltas.Add(1)
+	resp.Jobs = e.sess.Len()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionSolve serves POST /v1/session/{id}/solve: an
+// incremental resolve, answered in the same wire shape as /v1/solve
+// plus the resolved/reused fragment counters.
+func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
+	s.met.sessionRequests.Add(1)
+	id := r.PathValue("id")
+	e, ok := s.sessions.lookup(id)
+	if !ok {
+		s.writeWireError(w, noSession(id))
+		return
+	}
+	e.ops.Lock()
+	sol, err := e.sess.Resolve()
+	e.ops.Unlock()
+	if err != nil {
+		s.writeWireError(w, wireError(err))
+		return
+	}
+	s.met.sessionSolves.Add(1)
+	resp := wireOutcome(outcome{sol: sol})
+	resp.ResolvedFragments = sol.ResolvedFragments
+	resp.ReusedFragments = sol.ReusedFragments
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelete serves DELETE /v1/session/{id}.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.met.sessionRequests.Add(1)
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		s.writeSessionError(w, noSession(id))
+		return
+	}
+	writeJSON(w, http.StatusOK, sched.SessionResponse{Session: id})
+}
+
+// noSession is the uniform unknown-session error payload.
+func noSession(id string) *sched.WireError {
+	return &sched.WireError{Code: sched.ErrCodeNotFound, Message: fmt.Sprintf("no session %q (deleted or expired)", id)}
+}
+
+// writeSessionError writes a session-management error envelope,
+// counting it.
+func (s *Server) writeSessionError(w http.ResponseWriter, we *sched.WireError) {
+	s.met.bumpError(we.Code)
+	writeJSON(w, httpStatus(we.Code), sched.SessionResponse{Err: we})
+}

@@ -1,0 +1,444 @@
+package service
+
+// Lifecycle and protocol tests for the stateful /v1/session tier: the
+// end-to-end churn path (deltas + incremental solves bit-identical to
+// direct solves), TTL expiry, delete-while-solving, graceful shutdown
+// with open sessions, and strict-decode rejections.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	gapsched "repro"
+	"repro/internal/sched"
+)
+
+// sessionDo sends one request to a session endpoint and decodes the
+// management-envelope response.
+func sessionDo(t *testing.T, method, url string, body any) (int, sched.SessionResponse) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := sched.DecodeSessionResponse(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: undecodable session response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// sessionSolve posts to a session's solve endpoint and decodes the
+// solve-shaped response.
+func sessionSolve(t *testing.T, url, id string) (int, sched.SolveResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/session/"+id+"/solve", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := sched.DecodeSolveResponse(resp.Body)
+	if err != nil {
+		t.Fatalf("undecodable session solve response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestSessionEndToEndChurn drives a session through create, deltas,
+// and solves, checking every served cost against a direct Solve of
+// the same snapshot and that steady-state solves reuse all fragments.
+func TestSessionEndToEndChurn(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	create := sched.SessionCreateRequest{
+		Objective: sched.WirePower, Alpha: 2, Procs: 1,
+		Jobs: []sched.Job{{Release: 0, Deadline: 2}, {Release: 20, Deadline: 22}},
+	}
+	code, out := sessionDo(t, "POST", ts.URL+"/v1/session", create)
+	if code != http.StatusOK || out.Session == "" || len(out.JobIDs) != 2 {
+		t.Fatalf("create: status %d payload %+v", code, out)
+	}
+	id := out.Session
+
+	jobs := append([]sched.Job(nil), create.Jobs...)
+	checkSolve := func(wantResolved int) sched.SolveResponse {
+		t.Helper()
+		code, got := sessionSolve(t, ts.URL, id)
+		if code != http.StatusOK || got.Err != nil {
+			t.Fatalf("solve: status %d err %+v", code, got.Err)
+		}
+		want, err := (gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: 2}).
+			Solve(gapsched.Instance{Jobs: jobs, Procs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Power != want.Power {
+			t.Fatalf("session power %v, direct %v (jobs %v)", got.Power, want.Power, jobs)
+		}
+		if err := got.Schedule.Validate(sched.Instance{Jobs: jobs, Procs: 1}); err != nil {
+			t.Fatalf("served schedule invalid: %v", err)
+		}
+		if wantResolved >= 0 && got.ResolvedFragments != wantResolved {
+			t.Fatalf("resolved %d fragments, want %d (reused %d)", got.ResolvedFragments, wantResolved, got.ReusedFragments)
+		}
+		return got
+	}
+	checkSolve(2) // both initial fragments solve
+
+	// Delta: drop the first job, add one next to the second.
+	delta := sched.SessionDeltaRequest{
+		Add:    []sched.Job{{Release: 21, Deadline: 24}},
+		Remove: []int{out.JobIDs[0]},
+	}
+	code, dout := sessionDo(t, "POST", ts.URL+"/v1/session/"+id+"/delta", delta)
+	if code != http.StatusOK || len(dout.JobIDs) != 1 || dout.Jobs != 2 {
+		t.Fatalf("delta: status %d payload %+v", code, dout)
+	}
+	jobs = []sched.Job{{Release: 20, Deadline: 22}, {Release: 21, Deadline: 24}}
+	checkSolve(1) // only the touched cluster re-solves
+	checkSolve(0) // steady state reuses everything
+	sol := checkSolve(0)
+	if sol.ReusedFragments != sol.Subinstances {
+		t.Fatalf("steady state reused %d of %d fragments", sol.ReusedFragments, sol.Subinstances)
+	}
+
+	code, _ = sessionDo(t, "DELETE", ts.URL+"/v1/session/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code, got := sessionSolve(t, ts.URL, id); code != http.StatusNotFound || got.Err == nil || got.Err.Code != sched.ErrCodeNotFound {
+		t.Fatalf("solve after delete: status %d payload %+v", code, got)
+	}
+
+	st := srv.Stats()
+	if st.SessionsCreated != 1 || st.SessionsClosed != 1 || st.SessionsOpen != 0 {
+		t.Fatalf("session counters: %+v", st)
+	}
+	if st.SessionDeltas != 1 || st.SessionSolves < 4 {
+		t.Fatalf("usage counters: deltas %d solves %d", st.SessionDeltas, st.SessionSolves)
+	}
+}
+
+// TestSessionDeltaAtomicity: a delta with an unknown removal id must
+// reject whole — the session's live set (and its next solve) is
+// unchanged, even though the delta also carried valid operations.
+func TestSessionDeltaAtomicity(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Jobs: []sched.Job{{Release: 0, Deadline: 3}},
+	})
+	id := out.Session
+	bad := sched.SessionDeltaRequest{
+		Add:    []sched.Job{{Release: 50, Deadline: 51}},
+		Remove: []int{99},
+	}
+	code, dout := sessionDo(t, "POST", ts.URL+"/v1/session/"+id+"/delta", bad)
+	if code != http.StatusNotFound || dout.Err == nil || dout.Err.Code != sched.ErrCodeNotFound {
+		t.Fatalf("bad delta: status %d payload %+v", code, dout)
+	}
+	if _, got := sessionSolve(t, ts.URL, id); got.Err != nil || got.Spans != 1 || len(got.Schedule.Slots) != 1 {
+		t.Fatalf("session mutated by rejected delta: %+v", got)
+	}
+}
+
+// TestSessionTTLExpiry: an idle session is evicted after the TTL —
+// by the background sweeper even without being addressed — and
+// addressing it afterwards is not_found; activity resets the clock.
+func TestSessionTTLExpiry(t *testing.T) {
+	srv := New(Config{SessionTTL: 80 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Jobs: []sched.Job{{Release: 0, Deadline: 2}},
+	})
+	id := out.Session
+
+	// Keep-alive: touch the session a few times across more than one
+	// TTL; the clock must reset each time.
+	for i := 0; i < 4; i++ {
+		time.Sleep(40 * time.Millisecond)
+		if code, got := sessionSolve(t, ts.URL, id); code != http.StatusOK || got.Err != nil {
+			t.Fatalf("touch %d: status %d err %+v", i, code, got.Err)
+		}
+	}
+
+	// Idle past the TTL: the sweeper reclaims it without any request.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().SessionsOpen != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.SessionsExpired != 1 {
+		t.Fatalf("SessionsExpired = %d, want 1", st.SessionsExpired)
+	}
+	if code, got := sessionSolve(t, ts.URL, id); code != http.StatusNotFound || got.Err == nil || got.Err.Code != sched.ErrCodeNotFound {
+		t.Fatalf("solve after expiry: status %d payload %+v", code, got)
+	}
+}
+
+// TestSessionDeleteWhileSolving races DELETE against an in-flight
+// solve of a session with plenty of fragments: the solve must either
+// complete with a full solution or report the closed session, never
+// crash or wedge, and the delete must win the registry.
+func TestSessionDeleteWhileSolving(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	create := sched.SessionCreateRequest{Procs: 2}
+	for c := 0; c < 40; c++ { // many fragments so the solve has real work
+		base := 30 * c
+		for k := 0; k < 8; k++ {
+			create.Jobs = append(create.Jobs, sched.Job{Release: base + k, Deadline: base + k + 3})
+		}
+	}
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", create)
+	id := out.Session
+
+	solved := make(chan sched.SolveResponse, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/session/"+id+"/solve", "application/json", nil)
+		if err != nil {
+			solved <- sched.SolveResponse{Err: &sched.WireError{Code: sched.ErrCodeInternal, Message: err.Error()}}
+			return
+		}
+		defer resp.Body.Close()
+		got, err := sched.DecodeSolveResponse(resp.Body)
+		if err != nil {
+			solved <- sched.SolveResponse{Err: &sched.WireError{Code: sched.ErrCodeInternal, Message: err.Error()}}
+			return
+		}
+		solved <- got
+	}()
+	code, _ := sessionDo(t, "DELETE", ts.URL+"/v1/session/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	select {
+	case got := <-solved:
+		// Both outcomes are legal depending on who won the race; a
+		// success must be a complete solution.
+		if got.Err == nil {
+			if len(got.Schedule.Slots) != len(create.Jobs) {
+				t.Fatalf("racing solve returned a partial schedule: %d slots", len(got.Schedule.Slots))
+			}
+		} else if got.Err.Code != sched.ErrCodeNotFound {
+			t.Fatalf("racing solve failed with %+v", got.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solve wedged behind delete")
+	}
+	if st := srv.Stats(); st.SessionsOpen != 0 {
+		t.Fatalf("session survived delete: %+v", st)
+	}
+}
+
+// TestSessionShutdownWithOpenSessions: Close with live sessions shuts
+// them down and rejects later session traffic as unavailable, while
+// in-flight session operations complete.
+func TestSessionShutdownWithOpenSessions(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+			Jobs: []sched.Job{{Release: i * 10, Deadline: i*10 + 2}},
+		})
+		ids = append(ids, out.Session)
+	}
+	srv.Close()
+
+	st := srv.Stats()
+	if st.SessionsOpen != 0 || st.SessionsClosed != 3 {
+		t.Fatalf("after shutdown: %d open, %d closed; want 0/3", st.SessionsOpen, st.SessionsClosed)
+	}
+	code, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{Jobs: []sched.Job{{Release: 0, Deadline: 1}}})
+	if code != http.StatusServiceUnavailable || out.Err == nil || out.Err.Code != sched.ErrCodeUnavailable {
+		t.Fatalf("create after shutdown: status %d payload %+v", code, out)
+	}
+	// Old ids are gone, reported with the session error shape.
+	if code, got := sessionSolve(t, ts.URL, ids[0]); code != http.StatusNotFound || got.Err == nil {
+		t.Fatalf("solve after shutdown: status %d payload %+v", code, got)
+	}
+}
+
+// TestSessionMaxSessions: creates beyond the bound are rejected as
+// unavailable until a session frees a slot.
+func TestSessionMaxSessions(t *testing.T) {
+	srv := New(Config{MaxSessions: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		code, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{})
+		if code != http.StatusOK {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+		ids = append(ids, out.Session)
+	}
+	code, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{})
+	if code != http.StatusServiceUnavailable || out.Err == nil || out.Err.Code != sched.ErrCodeUnavailable {
+		t.Fatalf("create beyond bound: status %d payload %+v", code, out)
+	}
+	sessionDo(t, "DELETE", ts.URL+"/v1/session/"+ids[0], nil)
+	if code, _ := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{}); code != http.StatusOK {
+		t.Fatalf("create after free: status %d", code)
+	}
+}
+
+// TestSessionStrictDecodeRejections: malformed /v1/session payloads
+// come back 400 with bad_request in the session envelope — unknown
+// fields, bad windows, empty deltas, duplicate removals, trailing
+// garbage, and non-JSON all included.
+func TestSessionStrictDecodeRejections(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{})
+	id := out.Session
+
+	cases := []struct{ name, url, body string }{
+		{"create unknown field", "/v1/session", `{"ttl":30}`},
+		{"create bad window", "/v1/session", `{"jobs":[{"release":5,"deadline":1}]}`},
+		{"create bad objective", "/v1/session", `{"objective":"speed"}`},
+		{"create negative alpha", "/v1/session", `{"alpha":-1}`},
+		{"create trailing garbage", "/v1/session", `{} {}`},
+		{"create not json", "/v1/session", `nope`},
+		{"delta empty", "/v1/session/" + id + "/delta", `{}`},
+		{"delta unknown field", "/v1/session/" + id + "/delta", `{"drop":[1]}`},
+		{"delta bad window", "/v1/session/" + id + "/delta", `{"add":[{"release":5,"deadline":1}]}`},
+		{"delta duplicate removal", "/v1/session/" + id + "/delta", `{"remove":[1,1]}`},
+		{"delta not json", "/v1/session/" + id + "/delta", `{"add": nope`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, derr := sched.DecodeSessionResponse(resp.Body)
+		resp.Body.Close()
+		if derr != nil {
+			t.Fatalf("%s: error payload not decodable: %v", tc.name, derr)
+		}
+		if resp.StatusCode != http.StatusBadRequest || got.Err == nil || got.Err.Code != sched.ErrCodeBadRequest {
+			t.Errorf("%s: status %d payload %+v, want 400 bad_request", tc.name, resp.StatusCode, got)
+		}
+	}
+	// The target session must be untouched by all of the rejects.
+	if _, got := sessionSolve(t, ts.URL, id); got.Err != nil || got.Spans != 0 {
+		t.Fatalf("session mutated by rejected payloads: %+v", got)
+	}
+}
+
+// TestSessionMetricsExposition: the /metrics page carries the session
+// series.
+func TestSessionMetricsExposition(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Jobs: []sched.Job{{Release: 0, Deadline: 2}},
+	})
+	sessionSolve(t, ts.URL, out.Session)
+	sessionDo(t, "POST", ts.URL+"/v1/session/"+out.Session+"/delta", sched.SessionDeltaRequest{Add: []sched.Job{{Release: 9, Deadline: 11}}})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body := buf.String()
+	for _, series := range []string{
+		`gapschedd_requests_total{endpoint="session"} 3`,
+		`gapschedd_session_events_total{event="created"} 1`,
+		`gapschedd_session_events_total{event="solve"} 1`,
+		`gapschedd_session_events_total{event="delta"} 1`,
+		"gapschedd_sessions_open 1",
+		`gapschedd_errors_total{code="not_found"}`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics output missing %q:\n%s", series, body)
+		}
+	}
+}
+
+// TestSessionSharesFragmentCacheWithSolve: a fragment solved through
+// /v1/solve is a cache hit for a session solving the same canonical
+// fragment, certifying the shared-cache wiring end to end.
+func TestSessionSharesFragmentCacheWithSolve(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	jobs := []sched.Job{{Release: 0, Deadline: 2}, {Release: 1, Deadline: 4}}
+	decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", sched.SolveRequest{Jobs: jobs}))
+
+	// Same windows shifted in absolute time: canonically identical.
+	shifted := []sched.Job{{Release: 1000, Deadline: 1002}, {Release: 1001, Deadline: 1004}}
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{Jobs: shifted})
+	if _, got := sessionSolve(t, ts.URL, out.Session); got.Err != nil || got.CacheHits != 1 {
+		t.Fatalf("session solve: %+v, want 1 cache hit from the /v1/solve fragment", got)
+	}
+}
+
+// sessionDoRaw issues a request with an arbitrary method for path
+// coverage of the router itself.
+func TestSessionMethodNotAllowed(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/session", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/session: status %d, want 405", resp.StatusCode)
+	}
+}

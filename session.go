@@ -1,0 +1,190 @@
+package gapsched
+
+// Incremental scheduling sessions: the facade over internal/incr. A
+// Session holds a live instance and keeps its exact solution current
+// under job add/remove deltas, re-solving only the fragments a delta
+// touched (the rest keep their stored results), with every Resolve
+// bit-identical to a from-scratch Solve of the current job set. This
+// is the stateful tier the paper's motivating workloads want: devices
+// and real-time systems where unit jobs arrive and expire over time.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/incr"
+	"repro/internal/sched"
+)
+
+// ErrSessionClosed is returned by every operation on a closed Session.
+var ErrSessionClosed = errors.New("gapsched: session closed")
+
+// Session is a stateful incremental solver: a live job set plus its
+// forced-idle fragment decomposition, maintained under deltas so that
+// Resolve re-solves only dirty fragments. Obtain one with
+// Solver.Open; it inherits the Solver's objective, alpha, and cache
+// configuration. Fragment solves go through the Solver's
+// FragmentCache when one is configured (Cache, or a session-lifetime
+// cache of CacheSize entries), so sessions also reuse fragments solved
+// by batches and by each other.
+//
+// A Session is safe for concurrent use; operations serialize on an
+// internal mutex, so a Resolve and a delta never interleave.
+type Session struct {
+	mu     sync.Mutex
+	rt     objectiveRuntime
+	solver Solver
+	cache  *FragmentCache
+	tr     *incr.Tracker
+	closed bool
+}
+
+// Open starts an incremental session on procs processors (0 means 1)
+// with the Solver's configuration. The session decomposes with the
+// same split width the one-shot pipeline uses — every forced-idle run
+// for ObjectiveGaps, runs of width ≥ Alpha for ObjectivePower — so its
+// solutions are bit-identical to from-scratch solves. NoPreprocess
+// and Workers do not apply to sessions: incrementality is the
+// decomposition, and Resolve solves its dirty fragments sequentially —
+// a delta typically dirties one fragment, so there is nothing to fan
+// out (for a bulk first solve of a huge job set, SolveBatch the
+// instance once and open the session for the churn). Configuration
+// errors are the same ones Solve reports.
+func (s Solver) Open(procs int) (*Session, error) {
+	rt, err := s.runtime()
+	if err != nil {
+		return nil, err
+	}
+	if procs == 0 {
+		procs = 1
+	}
+	if procs < 0 {
+		return nil, fmt.Errorf("gapsched: session on %d processors, need ≥ 1", procs)
+	}
+	splitWidth := 1.0
+	if s.Objective == ObjectivePower {
+		splitWidth = s.Alpha
+	}
+	cache := s.Cache
+	if cache == nil && s.CacheSize > 0 {
+		cache = NewFragmentCache(s.CacheSize)
+	}
+	return &Session{
+		rt:     rt,
+		solver: s,
+		cache:  cache,
+		tr:     incr.New(procs, splitWidth),
+	}, nil
+}
+
+// Add inserts a job into the live instance and returns its id, the
+// handle Remove takes. Ids are assigned in arrival order and never
+// reused. Only the fragments whose covered regions the job touches or
+// bridges are marked dirty.
+func (ss *Session) Add(j Job) (int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return 0, ErrSessionClosed
+	}
+	if !j.Valid() {
+		return 0, fmt.Errorf("gapsched: job has empty window [%d,%d]", j.Release, j.Deadline)
+	}
+	return ss.tr.Add(j), nil
+}
+
+// Remove deletes the job with the given id. Only the fragment that
+// contained the job is re-decomposed (it may split); everything else
+// keeps its solved result.
+func (ss *Session) Remove(id int) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return ErrSessionClosed
+	}
+	if !ss.tr.Remove(id) {
+		return fmt.Errorf("gapsched: session has no job %d", id)
+	}
+	return nil
+}
+
+// Len returns the number of live jobs; 0 after Close.
+func (ss *Session) Len() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return 0
+	}
+	return ss.tr.Len()
+}
+
+// Job returns the live job with the given id. Callers that need a
+// whole delta to apply atomically (the daemon's /v1/session endpoints)
+// use it to verify every removal before mutating anything.
+func (ss *Session) Job(id int) (Job, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return Job{}, false
+	}
+	return ss.tr.Job(id)
+}
+
+// Instance snapshots the current job set (jobs in id order) — the
+// instance a from-scratch Solve would be handed to reproduce the next
+// Resolve exactly, and the one its Schedule validates against. After
+// Close it returns the zero Instance, like every other accessor.
+func (ss *Session) Instance() Instance {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return Instance{}
+	}
+	return ss.tr.Instance()
+}
+
+// Resolve brings the solution up to date and returns it: dirty
+// fragments are re-solved through the engine (and the fragment cache,
+// when configured), clean fragments are reused, and costs sum in
+// fragment time order, so the result is bit-identical to a
+// from-scratch Solve of Instance(). Solution.ResolvedFragments and
+// ReusedFragments report the split; infeasibility is ErrInfeasible,
+// exactly as Solve reports it.
+func (ss *Session) Resolve() (Solution, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return Solution{}, ErrSessionClosed
+	}
+	cost, schedule, counts, err := ss.tr.Resolve(func(fr sched.Instance) incr.Result {
+		r := ss.solver.solveFragment(ss.rt, ss.cache, fr)
+		return incr.Result{Cost: r.cost, Schedule: r.schedule, States: r.states, Hit: r.hit, Err: r.err}
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	if err := schedule.Validate(ss.tr.Instance()); err != nil {
+		return Solution{}, err
+	}
+	sol := Solution{
+		Schedule:          schedule,
+		States:            counts.States,
+		Subinstances:      ss.tr.Fragments(),
+		CacheHits:         counts.CacheHits,
+		ResolvedFragments: counts.Resolved,
+		ReusedFragments:   counts.Reused,
+	}
+	ss.rt.finish(&sol, cost)
+	return sol, nil
+}
+
+// Close releases the session: every later mutating or solving call
+// returns ErrSessionClosed and the accessors (Len, Instance, Job)
+// report an empty session. Close waits for an in-flight operation to
+// finish and is idempotent.
+func (ss *Session) Close() {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.closed = true
+}

@@ -94,6 +94,12 @@ type Solution struct {
 	// in-flight solve of the same fragment). Always 0 when no cache is
 	// configured.
 	CacheHits int
+	// ResolvedFragments and ReusedFragments are set by Session.Resolve:
+	// the fragments re-solved because a delta dirtied them, and the
+	// fragments whose stored solutions were reused without re-solving.
+	// Both are 0 for one-shot Solve/SolveBatch results.
+	ResolvedFragments int
+	ReusedFragments   int
 }
 
 // FragmentCache is a sharded, bounded (LRU per shard) cache of
