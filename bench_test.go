@@ -1,6 +1,6 @@
 package gapsched
 
-// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E17),
+// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E20),
 // one benchmark per table/figure. Run with:
 //
 //	go test -bench=. -benchmem
@@ -465,6 +465,71 @@ func BenchmarkE19_IncrementalSession(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE20_HeuristicTier: the heuristic tier on instances the
+// exact DP cannot serve — 100k-job stress profiles through the full
+// ModeHeuristic pipeline, the ModeAuto mixed-instance path under the
+// default budget, and the exact tier on the largest dense fragment it
+// can still afford, for contrast. Heuristic lanes report the certified
+// cost/lower-bound ratio as ratio/op.
+func BenchmarkE20_HeuristicTier(b *testing.B) {
+	heurSolver := Solver{Mode: ModeHeuristic}
+	for _, prof := range []string{workload.ProfileBursty, workload.ProfileDense} {
+		rng := rand.New(rand.NewSource(20))
+		in, err := workload.Stress(rng, prof, 100_000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("heuristic/"+prof+"-100k", func(b *testing.B) {
+			ratio := 0.0
+			for i := 0; i < b.N; i++ {
+				sol, err := heurSolver.Solve(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio += float64(sol.Spans) / sol.LowerBound
+			}
+			b.ReportMetric(ratio/float64(b.N), "ratio/op")
+		})
+	}
+	b.Run("auto-mixed/default-budget", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(20))
+		var jobs []sched.Job
+		for c := 0; c < 12; c++ {
+			for k := 0; k < 8; k++ {
+				r := c*200 + k + rng.Intn(3)
+				jobs = append(jobs, sched.Job{Release: r, Deadline: r + 2 + rng.Intn(4)})
+			}
+		}
+		for _, j := range workload.StressDense(rng, 400, 1).Jobs {
+			jobs = append(jobs, sched.Job{Release: j.Release + 2400, Deadline: j.Deadline + 2400})
+		}
+		in := NewInstance(jobs)
+		auto := Solver{Mode: ModeAuto}
+		for i := 0; i < b.N; i++ {
+			sol, err := auto.Solve(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.HeuristicFragments == 0 {
+				b.Fatal("mixed instance never used the heuristic tier")
+			}
+		}
+	})
+	b.Run("exact-wall/dense/n=400", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(20))
+		in := workload.StressDense(rng, 400, 2)
+		states := 0
+		for i := 0; i < b.N; i++ {
+			sol, err := Solver{}.Solve(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states += sol.States
+		}
+		b.ReportMetric(float64(states)/float64(b.N), "states/op")
+	})
 }
 
 // BenchmarkE15_GridAblation: anchor grid vs full-horizon grid on a

@@ -7,10 +7,17 @@
 //	gapgen -kind bursty -n 20 -bursts 3 -horizon 60
 //	gapgen -kind periodic -n 10 -period 6 -jitter 2 -slack 4
 //	gapgen -kind online-lb -n 8
+//	gapgen -profile bursty -n 100000 -p 4 -seed 7
+//
+// -profile bursty|sparse|dense overrides -kind with a large stress
+// instance for the heuristic solver tier (window shapes matching the
+// paper's device workloads; feasible by construction, so no redraw
+// loop bounds n). These are the instances experiment E20 runs on.
 //
 // All kinds emit the sched.File JSON envelope consumed by cmd/gapsched.
-// Unknown flags, stray positional arguments, and unknown kinds exit
-// with status 2 and the usage text, matching the other CLIs.
+// Unknown flags, stray positional arguments, and unknown kinds or
+// profiles exit with status 2 and the usage text, matching the other
+// CLIs.
 package main
 
 import (
@@ -50,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		alpha     = fs.Float64("alpha", 2, "transition cost recorded in the file")
 		seed      = fs.Int64("seed", 1, "random seed")
 		feasible  = fs.Bool("feasible", true, "redraw until the instance is feasible")
+		profile   = fs.String("profile", "", "stress profile overriding -kind: bursty | sparse | dense")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return cli.Status(err)
@@ -58,8 +66,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var f sched.File
 	f.Alpha = *alpha
-	switch *kind {
-	case "one-interval":
+	switch {
+	case *profile != "":
+		in, err := workload.Stress(rng, *profile, *n, *p)
+		if err != nil {
+			fmt.Fprintf(stderr, "gapgen: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+		f.Kind, f.Instance = sched.KindOneInterval, &in
+	case *kind == "one-interval":
 		var in sched.Instance
 		if *feasible {
 			in = workload.FeasibleOneInterval(rng, *n, *p, *horizon, *window)
@@ -67,18 +83,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			in = workload.Multiproc(rng, *n, *p, *horizon, *window)
 		}
 		f.Kind, f.Instance = sched.KindOneInterval, &in
-	case "bursty":
+	case *kind == "bursty":
 		in := workload.Bursty(rng, *n, *bursts, *horizon, 4, *window)
 		in.Procs = *p
 		f.Kind, f.Instance = sched.KindOneInterval, &in
-	case "periodic":
+	case *kind == "periodic":
 		in := workload.Periodic(rng, *n, *period, *jitter, *slack)
 		in.Procs = *p
 		f.Kind, f.Instance = sched.KindOneInterval, &in
-	case "online-lb":
+	case *kind == "online-lb":
 		in := workload.OnlineLowerBound(*n)
 		f.Kind, f.Instance = sched.KindOneInterval, &in
-	case "multi-interval":
+	case *kind == "multi-interval":
 		var mi sched.MultiInstance
 		if *feasible {
 			mi = workload.FeasibleMultiInterval(rng, *n, *intervals, *ivlen, *horizon)
@@ -86,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			mi = workload.MultiInterval(rng, *n, *intervals, *ivlen, *horizon)
 		}
 		f.Kind, f.Multi = sched.KindMultiInterval, &mi
-	case "disjoint-unit":
+	case *kind == "disjoint-unit":
 		mi := workload.DisjointUnit(rng, *n, *intervals)
 		f.Kind, f.Multi = sched.KindMultiInterval, &mi
 	default:

@@ -88,3 +88,36 @@ func TestGapgenDefaultIsFeasible(t *testing.T) {
 		t.Fatalf("default generation produced an infeasible instance: %+v", f.Instance)
 	}
 }
+
+// The -profile generators must emit decodable, feasible one-interval
+// envelopes with the requested size, and unknown profiles must exit 2
+// like every other command-line error.
+func TestGapgenStressProfiles(t *testing.T) {
+	for _, profile := range []string{"bursty", "sparse", "dense"} {
+		f := runGapgen(t, "-profile", profile, "-n", "200", "-p", "2", "-seed", "5")
+		if f.Kind != sched.KindOneInterval || f.Instance == nil {
+			t.Fatalf("%s: wrong envelope %+v", profile, f)
+		}
+		if len(f.Instance.Jobs) != 200 {
+			t.Fatalf("%s: %d jobs, want 200", profile, len(f.Instance.Jobs))
+		}
+		if err := f.Instance.Validate(); err != nil {
+			t.Fatalf("%s: invalid instance: %v", profile, err)
+		}
+		if !feas.FeasibleOneInterval(*f.Instance) {
+			t.Fatalf("%s: stress instance infeasible", profile)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-profile", "nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown profile exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "profile") {
+		t.Fatalf("no profile mention on stderr:\n%s", stderr.String())
+	}
+	// -profile overrides -kind rather than mixing with it.
+	f := runGapgen(t, "-kind", "multi-interval", "-profile", "sparse", "-n", "8")
+	if f.Kind != sched.KindOneInterval || f.Multi != nil {
+		t.Fatalf("-profile with -kind produced %+v", f)
+	}
+}

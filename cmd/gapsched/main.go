@@ -6,14 +6,23 @@
 //
 //	gapgen -kind one-interval -n 12 | gapsched -algo gaps
 //	gapsched -input instance.json -algo power -alpha 3
+//	gapgen -profile dense -n 100000 | gapsched -algo gaps -mode heuristic -quiet
+//	gapsched -input instance.json -algo gaps -mode auto -state-budget 1000000
 //	gapsched -input multi.json -algo approx
 //	gapsched -input multi.json -algo throughput -budget 3
-//	gapsched -stream -algo power -alpha 3 < deltas.txt
+//	gapsched -stream -algo power -alpha 3 -mode auto < deltas.txt
 //
 // Algorithms: gaps (Thm 1 exact), power (Thm 2 exact), greedy
 // ([FHKN06] baseline, single processor), edf (online baseline),
 // approx (Thm 3 multi-interval pipeline), naive (matching baseline),
 // throughput (Thm 11 greedy).
+//
+// The gaps and power algorithms accept -mode exact|heuristic|auto and
+// -state-budget, selecting the solving tier per fragment: heuristic
+// runs the near-linear greedy with a certified lower bound (printed
+// with the cost as an optimality-gap ratio), auto solves each fragment
+// exactly when its estimated DP size fits the budget and heuristically
+// otherwise. Both flags also apply to -stream sessions.
 //
 // Stream mode (-stream, gaps and power only) drives an incremental
 // scheduling session instead of a one-shot solve: the input is a
@@ -51,6 +60,8 @@ type options struct {
 	alpha       float64
 	budget      int
 	procs       int
+	mode        string
+	stateBudget int
 	stream      bool
 	quiet       bool
 }
@@ -68,6 +79,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.Float64Var(&o.alpha, "alpha", -1, "transition cost (overrides the file's alpha when ≥ 0)")
 	fs.IntVar(&o.budget, "budget", 2, "span budget for -algo throughput")
 	fs.IntVar(&o.procs, "procs", 1, "processor count for -stream sessions")
+	fs.StringVar(&o.mode, "mode", "exact", "solver tier for gaps/power: exact | heuristic | auto")
+	fs.IntVar(&o.stateBudget, "state-budget", 0, "auto-mode exact-tier budget on estimated DP states per fragment (0 = default)")
 	fs.BoolVar(&o.stream, "stream", false, "read job deltas line by line and resolve incrementally")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the timeline rendering")
 	if err := cli.Parse(fs, args); err != nil {
@@ -89,6 +102,10 @@ func main() {
 
 func run(o options, w io.Writer) error {
 	input, algo, alpha, budget, quiet := o.input, o.algo, o.alpha, o.budget, o.quiet
+	mode, err := gapsched.ParseMode(o.mode)
+	if err != nil {
+		return err
+	}
 	var r io.Reader = os.Stdin
 	if input != "-" {
 		f, err := os.Open(input)
@@ -99,7 +116,7 @@ func run(o options, w io.Writer) error {
 		r = f
 	}
 	if o.stream {
-		return runStream(r, algo, alpha, o.procs, w)
+		return runStream(r, o, mode, w)
 	}
 	file, err := sched.ReadJSON(r)
 	if err != nil {
@@ -114,7 +131,7 @@ func run(o options, w io.Writer) error {
 		if file.Instance == nil {
 			return fmt.Errorf("algorithm %q needs a one-interval instance", algo)
 		}
-		return runOneInterval(*file.Instance, algo, alpha, quiet, w)
+		return runOneInterval(*file.Instance, o, mode, alpha, quiet, w)
 	case "approx", "naive", "throughput":
 		mi := file.Multi
 		if mi == nil {
@@ -131,7 +148,8 @@ func run(o options, w io.Writer) error {
 	}
 }
 
-func runOneInterval(in sched.Instance, algo string, alpha float64, quiet bool, w io.Writer) error {
+func runOneInterval(in sched.Instance, o options, mode gapsched.Mode, alpha float64, quiet bool, w io.Writer) error {
+	algo := o.algo
 	var (
 		s   sched.Schedule
 		err error
@@ -139,19 +157,21 @@ func runOneInterval(in sched.Instance, algo string, alpha float64, quiet bool, w
 	switch algo {
 	case "gaps":
 		var sol gapsched.Solution
-		sol, err = gapsched.Solver{Objective: gapsched.ObjectiveGaps}.Solve(in)
+		sol, err = gapsched.Solver{Objective: gapsched.ObjectiveGaps, Mode: mode, StateBudget: o.stateBudget}.Solve(in)
 		if err == nil {
 			s = sol.Schedule
-			fmt.Fprintf(w, "optimal wake-ups (spans): %d   gaps: %d   DP states: %d   sub-instances: %d\n",
-				sol.Spans, sol.Gaps, sol.States, sol.Subinstances)
+			fmt.Fprintf(w, "%s wake-ups (spans): %d   gaps: %d   DP states: %d   sub-instances: %d\n",
+				tierLabel(sol), sol.Spans, sol.Gaps, sol.States, sol.Subinstances)
+			printCertificate(w, sol, float64(sol.Spans))
 		}
 	case "power":
 		var sol gapsched.Solution
-		sol, err = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha}.Solve(in)
+		sol, err = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha, Mode: mode, StateBudget: o.stateBudget}.Solve(in)
 		if err == nil {
 			s = sol.Schedule
-			fmt.Fprintf(w, "optimal power: %.3f (α=%.2f)   DP states: %d   sub-instances: %d\n",
-				sol.Power, alpha, sol.States, sol.Subinstances)
+			fmt.Fprintf(w, "%s power: %.3f (α=%.2f)   DP states: %d   sub-instances: %d\n",
+				tierLabel(sol), sol.Power, alpha, sol.States, sol.Subinstances)
+			printCertificate(w, sol, sol.Power)
 		}
 	case "greedy":
 		var res gapsched.GreedyResult
@@ -220,20 +240,45 @@ func runMulti(mi sched.MultiInstance, algo string, alpha float64, budget int, qu
 	return nil
 }
 
+// tierLabel describes a solution's cost quality: "optimal" unless some
+// fragment was served by the heuristic tier.
+func tierLabel(sol gapsched.Solution) string {
+	if sol.HeuristicFragments > 0 {
+		return "heuristic"
+	}
+	return "optimal"
+}
+
+// printCertificate reports the mode and certified optimality gap of a
+// solution that was not (entirely) served by the exact tier.
+func printCertificate(w io.Writer, sol gapsched.Solution, cost float64) {
+	if sol.Mode == gapsched.ModeExact {
+		return
+	}
+	ratio := 1.0
+	if sol.LowerBound > 0 {
+		ratio = cost / sol.LowerBound
+	}
+	fmt.Fprintf(w, "mode: %s   certified lower bound: %.3f   cost/LB ratio: %.3f   heuristic fragments: %d/%d\n",
+		sol.Mode, sol.LowerBound, ratio, sol.HeuristicFragments, sol.Subinstances)
+}
+
 // runStream drives an incremental session from a line-oriented delta
 // script: "add R D"/"+ R D" inserts a job, "remove ID"/"- ID" deletes
 // one, and after every delta the evolving cost is re-resolved
-// incrementally and printed together with the fragment-reuse counters.
-// A negative alpha (the flag default) means 0.
-func runStream(r io.Reader, algo string, alpha float64, procs int, w io.Writer) error {
+// incrementally and printed together with the fragment-reuse counters
+// (plus the certified lower bound when the session runs on a
+// non-exact mode). A negative alpha (the flag default) means 0.
+func runStream(r io.Reader, o options, mode gapsched.Mode, w io.Writer) error {
+	algo, alpha, procs := o.algo, o.alpha, o.procs
 	if alpha < 0 {
 		alpha = 0
 	}
-	s := gapsched.Solver{}
+	s := gapsched.Solver{Mode: mode, StateBudget: o.stateBudget}
 	switch algo {
 	case "gaps":
 	case "power":
-		s = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha}
+		s.Objective, s.Alpha = gapsched.ObjectivePower, alpha
 	default:
 		return fmt.Errorf("-stream supports gaps and power, not %q", algo)
 	}
@@ -288,6 +333,9 @@ func runStream(r io.Reader, algo string, alpha float64, procs int, w io.Writer) 
 		cost := fmt.Sprintf("spans=%d gaps=%d", sol.Spans, sol.Gaps)
 		if algo == "power" {
 			cost = fmt.Sprintf("power=%.3f (α=%.2f)", sol.Power, alpha)
+		}
+		if mode != gapsched.ModeExact {
+			cost += fmt.Sprintf(" lb=%.3f heur=%d", sol.LowerBound, sol.HeuristicFragments)
 		}
 		fmt.Fprintf(w, "%-16s jobs=%-4d frags=%-3d resolved=%-3d reused=%-3d %s\n",
 			what, sess.Len(), sol.Subinstances, sol.ResolvedFragments, sol.ReusedFragments, cost)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -212,5 +213,72 @@ func TestRunRejections(t *testing.T) {
 	}
 	if err := run(options{input: path, algo: "approx", alpha: -1, budget: 2, quiet: true}, &strings.Builder{}); err != nil {
 		t.Fatalf("one-interval should lay out for approx: %v", err)
+	}
+}
+
+// TestRunModes drives the gaps and power algorithms through every
+// solver tier: heuristic output must carry the certificate line, auto
+// with an unbounded budget must agree with exact, and a bad mode must
+// be rejected.
+func TestRunModes(t *testing.T) {
+	path := writeInstance(t, sched.File{
+		Kind:  sched.KindOneInterval,
+		Alpha: 2,
+		Instance: &sched.Instance{Procs: 1, Jobs: []sched.Job{
+			{Release: 0, Deadline: 2}, {Release: 1, Deadline: 4}, {Release: 30, Deadline: 33},
+		}},
+	})
+	for _, algo := range []string{"gaps", "power"} {
+		var exact, heur, auto strings.Builder
+		if err := run(options{input: path, algo: algo, alpha: -1, mode: "exact"}, &exact); err != nil {
+			t.Fatalf("%s exact: %v", algo, err)
+		}
+		if strings.Contains(exact.String(), "certified lower bound") {
+			t.Fatalf("%s exact printed a certificate:\n%s", algo, exact.String())
+		}
+		if err := run(options{input: path, algo: algo, alpha: -1, mode: "heuristic", quiet: true}, &heur); err != nil {
+			t.Fatalf("%s heuristic: %v", algo, err)
+		}
+		for _, want := range []string{"heuristic", "certified lower bound", "cost/LB ratio", "heuristic fragments: 2/2"} {
+			if !strings.Contains(heur.String(), want) {
+				t.Fatalf("%s heuristic output missing %q:\n%s", algo, want, heur.String())
+			}
+		}
+		// Unbounded auto reports the same first (cost) line as exact,
+		// modulo the mode banner that follows it.
+		if err := run(options{input: path, algo: algo, alpha: -1, mode: "auto", stateBudget: math.MaxInt, quiet: true}, &auto); err != nil {
+			t.Fatalf("%s auto: %v", algo, err)
+		}
+		exactCost := strings.SplitN(exact.String(), "\n", 2)[0]
+		autoCost := strings.SplitN(auto.String(), "\n", 2)[0]
+		if exactCost != autoCost {
+			t.Fatalf("%s: auto cost line %q, exact %q", algo, autoCost, exactCost)
+		}
+	}
+	if err := run(options{input: path, algo: "gaps", mode: "sloppy"}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestRunStreamModes: -stream sessions honor -mode, printing the lb
+// column for non-exact tiers.
+func TestRunStreamModes(t *testing.T) {
+	script := "add 0 3\nadd 50 54\nremove 0\n"
+	var b strings.Builder
+	if err := run(options{algo: "gaps", alpha: -1, procs: 1, stream: true, mode: "heuristic",
+		input: writeScript(t, script)}, &b); err != nil {
+		t.Fatalf("stream heuristic: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "lb=") || !strings.Contains(out, "heur=") {
+		t.Fatalf("stream heuristic output missing certificate columns:\n%s", out)
+	}
+	var e strings.Builder
+	if err := run(options{algo: "gaps", alpha: -1, procs: 1, stream: true, mode: "exact",
+		input: writeScript(t, script)}, &e); err != nil {
+		t.Fatalf("stream exact: %v", err)
+	}
+	if strings.Contains(e.String(), "lb=") {
+		t.Fatalf("stream exact printed certificates:\n%s", e.String())
 	}
 }

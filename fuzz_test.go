@@ -12,6 +12,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/workload"
@@ -218,6 +219,89 @@ func FuzzSessionDeltas(f *testing.F) {
 					t.Fatalf("counters %d+%d != %d fragments",
 						got.ResolvedFragments, got.ReusedFragments, got.Subinstances)
 				}
+			}
+		}
+	})
+}
+
+// FuzzHeuristicQuality certifies the heuristic tier against the exact
+// tier on every decodable instance, for both objectives: the two tiers
+// agree on feasibility; heuristic schedules are valid; the cost is
+// sandwiched LowerBound ≤ exact ≤ heuristic (with the exact tier
+// certifying itself: LowerBound == cost); cached heuristic solves are
+// bit-identical to uncached ones; ModeAuto under an unbounded
+// StateBudget is bit-for-bit the exact tier (cost, schedule, and
+// counters), and under a negative budget bit-for-bit the heuristic.
+func FuzzHeuristicQuality(f *testing.F) {
+	seedFuzzCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, alpha, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		for _, base := range []Solver{
+			{},
+			{Objective: ObjectivePower, Alpha: alpha},
+		} {
+			cost := func(sol Solution) float64 { return base.Objective.Cost(sol) }
+			exact := base
+			h := base
+			h.Mode = ModeHeuristic
+			cached := h
+			cached.Cache = NewFragmentCache(64)
+			auto := base
+			auto.Mode, auto.StateBudget = ModeAuto, math.MaxInt
+			autoHeur := base
+			autoHeur.Mode, autoHeur.StateBudget = ModeAuto, -1
+
+			want, exactErr := exact.Solve(in)
+			got, heurErr := h.Solve(in)
+			if (exactErr == nil) != (heurErr == nil) {
+				t.Fatalf("tiers disagree on feasibility: exact %v, heuristic %v (jobs %v procs %d)",
+					exactErr, heurErr, in.Jobs, in.Procs)
+			}
+			if exactErr != nil {
+				for name, err := range map[string]error{"exact": exactErr, "heuristic": heurErr} {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatalf("%s failed with %v, want ErrInfeasible", name, err)
+					}
+				}
+				continue
+			}
+			if err := got.Schedule.Validate(in); err != nil {
+				t.Fatalf("heuristic schedule invalid: %v (jobs %v procs %d)", err, in.Jobs, in.Procs)
+			}
+			if got.LowerBound > cost(want)+1e-9 || cost(got) < cost(want)-1e-9 {
+				t.Fatalf("sandwich violated: lb %v ≤ exact %v ≤ heur %v fails (jobs %v procs %d alpha %v)",
+					got.LowerBound, cost(want), cost(got), in.Jobs, in.Procs, alpha)
+			}
+			if want.LowerBound != cost(want) {
+				t.Fatalf("exact tier does not certify itself: lb %v, cost %v", want.LowerBound, cost(want))
+			}
+
+			hot, err := cached.Solve(in)
+			if err != nil || cost(hot) != cost(got) || hot.LowerBound != got.LowerBound {
+				t.Fatalf("cached heuristic drifted: %v/%v vs %v/%v (err %v)",
+					cost(hot), hot.LowerBound, cost(got), got.LowerBound, err)
+			}
+
+			asExact, err := auto.Solve(in)
+			if err != nil {
+				t.Fatalf("auto(unbounded): %v", err)
+			}
+			if cost(asExact) != cost(want) || !reflect.DeepEqual(asExact.Schedule, want.Schedule) ||
+				asExact.HeuristicFragments != 0 || asExact.States != want.States {
+				t.Fatalf("auto(unbounded) differs from exact: cost %v vs %v (jobs %v procs %d)",
+					cost(asExact), cost(want), in.Jobs, in.Procs)
+			}
+			asHeur, err := autoHeur.Solve(in)
+			if err != nil {
+				t.Fatalf("auto(-1): %v", err)
+			}
+			if cost(asHeur) != cost(got) || asHeur.LowerBound != got.LowerBound ||
+				asHeur.HeuristicFragments != asHeur.Subinstances {
+				t.Fatalf("auto(-1) differs from heuristic: %v/%v vs %v/%v",
+					cost(asHeur), asHeur.LowerBound, cost(got), got.LowerBound)
 			}
 		}
 	})

@@ -1,0 +1,151 @@
+package heur
+
+// Certified instance lower bounds. Both bounds rest on two facts:
+//
+//   - Decomposition exactness (internal/prep): the optimum of an
+//     instance is the sum of the optima of its forced-idle fragments —
+//     every forced-idle run of width ≥ 1 separates spans, and every run
+//     of width ≥ α separates power-optimal solutions — so a per-fragment
+//     lower bound sums to an instance lower bound.
+//
+//   - The density (Hall-type) level bound: jobs whose windows lie
+//     inside [s, e] contribute |inside| busy units to the e−s+1 times of
+//     [s, e], so some time there has profile level at least
+//     m = ⌈|inside| / (e−s+1)⌉. The span objective Σ_u (l_u − l_{u−1})_+
+//     telescopes to at least the maximum level, so each fragment needs
+//     at least max(1, m) spans; and for power, the active profile
+//     dominates the busy profile, so each fragment pays at least its
+//     job count in active units plus α·max(1, m) in wake transitions
+//     (the fragment starts asleep — bridging into it from a neighbor
+//     across a forced-idle run of width ≥ α costs at least α too, which
+//     is exactly why the decomposition stays exact).
+//
+// The density maximum is evaluated over the candidate windows
+// {[r_j, d_j] : j a job of the fragment} — a sound restriction of the
+// full release×deadline candidate set (any subset of windows yields a
+// valid bound) computable in O(n log n) by a Fenwick sweep. E20 and
+// FuzzHeuristicQuality measure and certify LowerBound ≤ OPT.
+
+import (
+	"sort"
+
+	"repro/internal/prep"
+	"repro/internal/sched"
+)
+
+// SpanLowerBound returns a certified lower bound on the optimal span
+// count (total sleep→active transitions) of the instance: the sum over
+// forced-idle fragments of the fragment's density level bound.
+func SpanLowerBound(in sched.Instance) int {
+	lb := 0
+	for _, sub := range prep.ForGaps(in).Subs {
+		lb += FragmentSpanLB(sub.Instance)
+	}
+	return lb
+}
+
+// PowerLowerBound returns a certified lower bound on the optimal power
+// consumption at transition cost alpha: per power fragment (forced-idle
+// runs of width ≥ alpha split), the fragment's job count in active
+// units plus alpha per forced wake transition (the density level
+// bound).
+func PowerLowerBound(in sched.Instance, alpha float64) float64 {
+	lb := 0.0
+	for _, sub := range prep.ForPower(in, alpha).Subs {
+		lb += FragmentPowerLB(sub.Instance, alpha)
+	}
+	return lb
+}
+
+// FragmentSpanLB is the per-fragment span certificate: the density
+// level bound, at least 1 for any non-empty fragment. It assumes
+// nothing about decomposition — on an instance that still contains
+// splittable idle runs it is merely a weaker (but sound) bound than
+// SpanLowerBound, which sums it over the fragments.
+func FragmentSpanLB(in sched.Instance) int {
+	if len(in.Jobs) == 0 {
+		return 0
+	}
+	return max(1, densityLB(in))
+}
+
+// FragmentPowerLB is the per-fragment power certificate: the
+// fragment's active units plus alpha per forced wake. Like
+// FragmentSpanLB, it is sound on any instance and tight on a single
+// power fragment.
+func FragmentPowerLB(in sched.Instance, alpha float64) float64 {
+	if len(in.Jobs) == 0 {
+		return 0
+	}
+	return float64(len(in.Jobs)) + alpha*float64(max(1, densityLB(in)))
+}
+
+// densityLB computes max over job windows [r_j, d_j] of
+// ⌈|{i : r_i ≥ r_j, d_i ≤ d_j}| / (d_j − r_j + 1)⌉ — the largest
+// profile level any schedule of the instance must reach, per the
+// density argument above. Jobs are swept in decreasing release order
+// with a Fenwick tree over deadline ranks, so each window's contained
+// count is one prefix query.
+func densityLB(in sched.Instance) int {
+	n := len(in.Jobs)
+	if n == 0 {
+		return 0
+	}
+	dls := make([]int, n)
+	for i, j := range in.Jobs {
+		dls[i] = j.Deadline
+	}
+	sort.Ints(dls)
+	dls = dedupe(dls)
+	rank := func(d int) int { return sort.SearchInts(dls, d) }
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return in.Jobs[order[x]].Release > in.Jobs[order[y]].Release
+	})
+
+	fen := newFenwick(len(dls))
+	best := 0
+	for i := 0; i < n; {
+		// Insert the whole equal-release group before querying any of
+		// its members: "release ≥ r_j" includes ties.
+		j := i
+		for j < n && in.Jobs[order[j]].Release == in.Jobs[order[i]].Release {
+			fen.add(rank(in.Jobs[order[j]].Deadline), 1)
+			j++
+		}
+		for k := i; k < j; k++ {
+			jb := in.Jobs[order[k]]
+			cnt := fen.prefix(rank(jb.Deadline))
+			width := jb.Deadline - jb.Release + 1
+			if m := (cnt + width - 1) / width; m > best {
+				best = m
+			}
+		}
+		i = j
+	}
+	return best
+}
+
+// fenwick is a classic binary indexed tree over 0-based positions.
+type fenwick struct{ tree []int }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(pos, delta int) {
+	for i := pos + 1; i < len(f.tree); i += i & -i {
+		f.tree[i] += delta
+	}
+}
+
+// prefix sums positions [0, pos].
+func (f *fenwick) prefix(pos int) int {
+	s := 0
+	for i := pos + 1; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return s
+}

@@ -40,13 +40,18 @@ import (
 
 // Result is one fragment's solved outcome, as produced by the solve
 // callback handed to Resolve. Schedule is fragment-local: zero-based
-// times, slots aligned with the fragment's jobs in id order. Hit
-// reports a fragment-cache hit (informational). Err is typically the
-// engine's infeasibility error.
+// times, slots aligned with the fragment's jobs in id order. LB is the
+// fragment's certified lower bound (the optimal cost itself when the
+// fragment was solved exactly) and Heur marks heuristic-tier results;
+// both are stored with the fragment so reuse keeps the session's
+// aggregate certificate exact. Hit reports a fragment-cache hit
+// (informational). Err is typically the engine's infeasibility error.
 type Result struct {
 	Cost     float64
 	Schedule sched.Schedule
 	States   int
+	LB       float64
+	Heur     bool
 	Hit      bool
 	Err      error
 }
@@ -233,6 +238,12 @@ type Counts struct {
 	// States sums the DP states over all fragments (stored states for
 	// reused fragments), matching the batch facade's accounting.
 	States int
+	// LowerBound sums the per-fragment certified lower bounds in
+	// fragment time order, matching the one-shot facade's accounting.
+	LowerBound float64
+	// HeuristicFragments counts the fragments whose current stored
+	// result came from the heuristic tier.
+	HeuristicFragments int
 }
 
 // Resolve brings the solution up to date: dirty fragments are solved
@@ -263,6 +274,10 @@ func (t *Tracker) Resolve(solve func(sched.Instance) Result) (cost float64, s sc
 			c.Reused++
 		}
 		c.States += f.res.States
+		c.LowerBound += f.res.LB
+		if f.res.Heur {
+			c.HeuristicFragments++
+		}
 		if f.res.Err != nil {
 			return 0, sched.Schedule{}, c, f.res.Err
 		}

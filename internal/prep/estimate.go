@@ -1,0 +1,92 @@
+package prep
+
+// A-priori DP size estimation for the facade's adaptive mode: ModeAuto
+// decides per fragment whether the exact engine is affordable, before
+// running it, by comparing this estimate against Solver.StateBudget.
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// StateEstimate returns a deterministic a-priori size estimate of the
+// exact DP on one instance (typically a fragment after Decompose): the
+// engine's index-space shape G²·(n+1)·(p+1)³, where G is the size of
+// the candidate execution grid (the union of the ±n neighbourhoods of
+// releases and deadlines, clipped to the horizon — exactly the grid
+// internal/core builds) and p is capped at n like the engine caps it.
+//
+// This is an upper-bound-flavoured signal, not a prediction of visited
+// states — the DP touches a vanishingly small fraction of its index
+// space — but it is monotone in fragment size and stable across runs,
+// which is what an admission decision needs: two Solvers with the same
+// budget always classify a fragment the same way. Saturates at MaxInt
+// instead of overflowing on huge horizons. The empty instance
+// estimates 0.
+func StateEstimate(in sched.Instance) int {
+	n := len(in.Jobs)
+	if n == 0 {
+		return 0
+	}
+	p := in.Procs
+	if p > n {
+		p = n
+	}
+	g := gridSize(in)
+	est := g
+	for _, dim := range [...]int{g, n + 1, p + 1, p + 1, p + 1} {
+		est = satMul(est, dim)
+	}
+	return est
+}
+
+// gridSize computes |grid| without materialising it: the measure of
+// the union of the clipped anchor neighbourhoods [a−n, a+n] over all
+// releases and deadlines a.
+func gridSize(in sched.Instance) int {
+	n := len(in.Jobs)
+	lo, hi := in.TimeHorizon()
+	type iv struct{ lo, hi int }
+	ivs := make([]iv, 0, 2*n)
+	add := func(center int) {
+		from, to := center-n, center+n
+		if from < lo {
+			from = lo
+		}
+		if to > hi {
+			to = hi
+		}
+		if from <= to {
+			ivs = append(ivs, iv{from, to})
+		}
+	}
+	for _, j := range in.Jobs {
+		add(j.Release)
+		add(j.Deadline)
+	}
+	sort.Slice(ivs, func(x, y int) bool { return ivs[x].lo < ivs[y].lo })
+	size, end := 0, math.MinInt
+	for _, v := range ivs {
+		if v.lo > end {
+			size += v.hi - v.lo + 1
+			end = v.hi
+		} else if v.hi > end {
+			size += v.hi - end
+			end = v.hi
+		}
+	}
+	return size
+}
+
+// satMul multiplies non-negative ints, saturating at MaxInt.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}

@@ -1,0 +1,79 @@
+package prep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestStateEstimateHandValues pins the estimate's shape on instances
+// small enough to compute by hand: G²·(n+1)·(p+1)³ with G the clipped
+// anchor-neighbourhood union and p capped at n.
+func TestStateEstimateHandValues(t *testing.T) {
+	// One job [0,0]: G = 1 (neighbourhood clipped to the horizon),
+	// n+1 = 2, capped p = 1 → 1·1·2·2³ = 16.
+	one := sched.NewInstance([]sched.Job{{Release: 0, Deadline: 0}})
+	if got := StateEstimate(one); got != 16 {
+		t.Fatalf("single-point estimate %d, want 16", got)
+	}
+	// Same job on 8 processors: p caps at n = 1, identical estimate.
+	if got := StateEstimate(sched.NewMultiprocInstance([]sched.Job{{Release: 0, Deadline: 0}}, 8)); got != 16 {
+		t.Fatalf("capped-p estimate %d, want 16", got)
+	}
+	// Empty instance: nothing to solve.
+	if got := StateEstimate(sched.Instance{Procs: 3}); got != 0 {
+		t.Fatalf("empty estimate %d, want 0", got)
+	}
+	// Two far-apart tight jobs [0,0] and [100,100]: each anchor covers
+	// ±2 clipped to the horizon ends → G = 3 + 3 = 6, n+1 = 3, p = 1
+	// → 36·3·8 = 864.
+	two := sched.NewInstance([]sched.Job{{Release: 0, Deadline: 0}, {Release: 100, Deadline: 100}})
+	if got := StateEstimate(two); got != 864 {
+		t.Fatalf("two-point estimate %d, want 864", got)
+	}
+}
+
+// TestStateEstimateMonotoneInSize: adding jobs to an instance must
+// never shrink the estimate — the property ModeAuto's admission
+// decision leans on.
+func TestStateEstimateMonotoneInSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 100; trial++ {
+		in := workload.Multiproc(rng, 2+rng.Intn(12), 1+rng.Intn(3), 6+rng.Intn(40), 1+rng.Intn(6))
+		smaller := sched.Instance{Jobs: in.Jobs[:len(in.Jobs)-1], Procs: in.Procs}
+		if StateEstimate(smaller) > StateEstimate(in) {
+			t.Fatalf("estimate shrank when adding a job: %d > %d (jobs %v)",
+				StateEstimate(smaller), StateEstimate(in), in.Jobs)
+		}
+	}
+}
+
+// TestStateEstimateSaturates: absurd horizons must clamp at MaxInt
+// instead of overflowing into a small (or negative) budget pass.
+func TestStateEstimateSaturates(t *testing.T) {
+	jobs := make([]sched.Job, 2000)
+	for i := range jobs {
+		jobs[i] = sched.Job{Release: i * 1_000_000, Deadline: i*1_000_000 + 900_000}
+	}
+	if got := StateEstimate(sched.NewMultiprocInstance(jobs, 4)); got != math.MaxInt {
+		t.Fatalf("huge estimate %d, want MaxInt saturation", got)
+	}
+}
+
+// TestStateEstimateDeterministic: the estimate must not depend on job
+// order (fragments are canonicalized before caching, so the admission
+// decision must agree between a fragment and its canonical form).
+func TestStateEstimateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		in := workload.Multiproc(rng, 2+rng.Intn(10), 1+rng.Intn(3), 6+rng.Intn(30), 1+rng.Intn(5))
+		canon, _ := Canonicalize(in)
+		if StateEstimate(in) != StateEstimate(canon) {
+			t.Fatalf("estimate depends on job order: %d vs %d (jobs %v)",
+				StateEstimate(in), StateEstimate(canon), in.Jobs)
+		}
+	}
+}

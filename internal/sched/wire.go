@@ -20,6 +20,25 @@ const (
 	WirePower = "power"
 )
 
+// Wire solver-mode names accepted by SolveRequest and
+// SessionCreateRequest. An empty mode means WireModeExact. They match
+// gapsched.Mode.String / gapsched.ParseMode.
+const (
+	WireModeExact     = "exact"
+	WireModeHeuristic = "heuristic"
+	WireModeAuto      = "auto"
+)
+
+// validMode reports whether s names a solver mode ("" included).
+func validMode(s string) error {
+	switch s {
+	case "", WireModeExact, WireModeHeuristic, WireModeAuto:
+		return nil
+	}
+	return fmt.Errorf("sched: unknown mode %q (want %q, %q or %q)",
+		s, WireModeExact, WireModeHeuristic, WireModeAuto)
+}
+
 // Wire error codes carried by WireError. They partition every way a
 // request can come back without a schedule: the request itself was
 // malformed or misconfigured (bad_request), the instance admits no
@@ -49,6 +68,14 @@ type SolveRequest struct {
 	Alpha float64 `json:"alpha,omitempty"`
 	// Procs is the processor count (0 = 1).
 	Procs int `json:"procs,omitempty"`
+	// Mode is the solving tier: WireModeExact, WireModeHeuristic, or
+	// WireModeAuto ("" = WireModeExact).
+	Mode string `json:"mode,omitempty"`
+	// StateBudget tunes WireModeAuto: a fragment is solved exactly when
+	// its estimated DP size is within the budget (0 = the server's
+	// default budget; negative sends every fragment to the heuristic).
+	// Ignored by the other modes.
+	StateBudget int `json:"stateBudget,omitempty"`
 	// Jobs are the unit jobs to schedule.
 	Jobs []Job `json:"jobs"`
 }
@@ -63,13 +90,16 @@ func (r SolveRequest) Instance() Instance {
 	return Instance{Jobs: r.Jobs, Procs: p}
 }
 
-// Validate checks the request: a known objective, a non-negative
-// alpha, and a structurally valid instance.
+// Validate checks the request: a known objective, a known mode, a
+// non-negative alpha, and a structurally valid instance.
 func (r SolveRequest) Validate() error {
 	switch r.Objective {
 	case "", WireGaps, WirePower:
 	default:
 		return fmt.Errorf("sched: unknown objective %q (want %q or %q)", r.Objective, WireGaps, WirePower)
+	}
+	if err := validMode(r.Mode); err != nil {
+		return err
 	}
 	if r.Alpha < 0 {
 		return fmt.Errorf("sched: negative alpha %v", r.Alpha)
@@ -110,6 +140,15 @@ type SolveResponse struct {
 	States       int `json:"states,omitempty"`
 	Subinstances int `json:"subinstances,omitempty"`
 	CacheHits    int `json:"cacheHits,omitempty"`
+	// Mode is the solving tier that served the request ("" = exact).
+	Mode string `json:"mode,omitempty"`
+	// LowerBound is the certified lower bound on the optimal cost, in
+	// the objective's units; for pure exact solves it equals the
+	// reported cost.
+	LowerBound float64 `json:"lowerBound,omitempty"`
+	// HeuristicFragments counts the fragments served by the greedy
+	// tier (0 for exact solves).
+	HeuristicFragments int `json:"heuristicFragments,omitempty"`
 	// ResolvedFragments and ReusedFragments are set by session solves
 	// (/v1/session/{id}/solve): how many fragments the incremental
 	// resolve actually re-solved versus served from session state.
@@ -178,18 +217,27 @@ type SessionCreateRequest struct {
 	Alpha float64 `json:"alpha,omitempty"`
 	// Procs is the processor count (0 = 1).
 	Procs int `json:"procs,omitempty"`
+	// Mode is the session's solving tier ("" = WireModeExact); every
+	// incremental resolve of the session runs on it.
+	Mode string `json:"mode,omitempty"`
+	// StateBudget tunes WireModeAuto, as in SolveRequest.
+	StateBudget int `json:"stateBudget,omitempty"`
 	// Jobs is the initial job set; it may be empty (jobs arrive as
 	// deltas) and may be infeasible (the first solve reports it).
 	Jobs []Job `json:"jobs,omitempty"`
 }
 
-// Validate checks the request: a known objective, a non-negative
-// alpha, a representable processor count, and non-empty job windows.
+// Validate checks the request: a known objective, a known mode, a
+// non-negative alpha, a representable processor count, and non-empty
+// job windows.
 func (r SessionCreateRequest) Validate() error {
 	switch r.Objective {
 	case "", WireGaps, WirePower:
 	default:
 		return fmt.Errorf("sched: unknown objective %q (want %q or %q)", r.Objective, WireGaps, WirePower)
+	}
+	if err := validMode(r.Mode); err != nil {
+		return err
 	}
 	if r.Alpha < 0 {
 		return fmt.Errorf("sched: negative alpha %v", r.Alpha)

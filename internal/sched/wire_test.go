@@ -12,10 +12,14 @@ import (
 func randWireRequest(rng *rand.Rand) SolveRequest {
 	req := SolveRequest{
 		Objective: [...]string{"", WireGaps, WirePower}[rng.Intn(3)],
+		Mode:      [...]string{"", WireModeExact, WireModeHeuristic, WireModeAuto}[rng.Intn(4)],
 		Procs:     rng.Intn(4), // 0 exercises the default
 	}
 	if req.Objective == WirePower {
 		req.Alpha = float64(rng.Intn(12)) / 2
+	}
+	if req.Mode == WireModeAuto {
+		req.StateBudget = rng.Intn(3) - 1 // negative, zero and positive budgets
 	}
 	n := rng.Intn(8)
 	for i := 0; i < n; i++ {
@@ -47,6 +51,11 @@ func randWireResponse(rng *rand.Rand) SolveResponse {
 	resp.Gaps = max(resp.Spans-1, 0)
 	if rng.Intn(2) == 1 {
 		resp.Power = float64(rng.Intn(40)) / 4
+	}
+	if rng.Intn(2) == 1 {
+		resp.Mode = [...]string{WireModeExact, WireModeHeuristic, WireModeAuto}[rng.Intn(3)]
+		resp.LowerBound = float64(rng.Intn(resp.Spans + 1))
+		resp.HeuristicFragments = rng.Intn(resp.Subinstances + 1)
 	}
 	return resp
 }
@@ -128,6 +137,7 @@ func TestWireBatchRoundTripProperty(t *testing.T) {
 func TestWireRequestRejects(t *testing.T) {
 	cases := map[string]string{
 		"unknown objective": `{"objective":"speed","jobs":[]}`,
+		"unknown mode":      `{"mode":"sloppy","jobs":[]}`,
 		"negative alpha":    `{"alpha":-2,"jobs":[]}`,
 		"negative procs":    `{"procs":-1,"jobs":[]}`,
 		"empty window":      `{"jobs":[{"release":3,"deadline":1}]}`,
@@ -167,7 +177,8 @@ func TestWireSessionRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	for trial := 0; trial < 200; trial++ {
 		sreq := randWireRequest(rng)
-		creq := SessionCreateRequest{Objective: sreq.Objective, Alpha: sreq.Alpha, Procs: sreq.Procs, Jobs: sreq.Jobs}
+		creq := SessionCreateRequest{Objective: sreq.Objective, Alpha: sreq.Alpha, Procs: sreq.Procs,
+			Mode: sreq.Mode, StateBudget: sreq.StateBudget, Jobs: sreq.Jobs}
 		if err := creq.Validate(); err != nil {
 			t.Fatalf("generated create request invalid: %v", err)
 		}
@@ -227,6 +238,7 @@ func TestWireSessionRoundTripProperty(t *testing.T) {
 func TestWireSessionRejects(t *testing.T) {
 	creates := map[string]string{
 		"unknown objective": `{"objective":"speed"}`,
+		"unknown mode":      `{"mode":"sloppy"}`,
 		"negative alpha":    `{"alpha":-2}`,
 		"negative procs":    `{"procs":-1}`,
 		"empty window":      `{"jobs":[{"release":3,"deadline":1}]}`,

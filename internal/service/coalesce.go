@@ -16,10 +16,15 @@ var ErrShuttingDown = errors.New("service: shutting down")
 // solveKey identifies one solver configuration. Requests coalesce only
 // with requests of the same key, since one SolveBatch call runs under
 // one configuration; the fragment cache is still shared across keys
-// (its entries are keyed by objective and alpha).
+// (its entries are keyed by objective, alpha, and solving tier).
+// budget is meaningful only for ModeAuto — keyFor zeroes it for the
+// other modes so an irrelevant stateBudget does not fragment the
+// coalescing windows.
 type solveKey struct {
 	objective gapsched.Objective
 	alpha     float64
+	mode      gapsched.Mode
+	budget    int
 }
 
 // outcome is one request's terminal result.

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync/atomic"
 
 	gapsched "repro"
@@ -28,12 +29,50 @@ type metrics struct {
 	sessionsClosed  atomic.Int64 // sessions deleted by clients or shutdown
 	sessionsExpired atomic.Int64 // sessions reclaimed by the TTL
 
+	// Per-mode solve accounting: every successfully served solution —
+	// /v1/solve, each /v1/batch element, each session resolve — bumps
+	// the counter of the solver mode that produced it, and adds its
+	// certified optimality gap (cost − lowerBound, zero for exact
+	// solves) to the summed quality-gap gauge.
+	modeExact     atomic.Int64
+	modeHeuristic atomic.Int64
+	modeAuto      atomic.Int64
+	qualityGap    atomic.Uint64 // float64 bits of the summed gap
+
 	errBadRequest  atomic.Int64
 	errInfeasible  atomic.Int64
 	errCanceled    atomic.Int64
 	errUnavailable atomic.Int64
 	errNotFound    atomic.Int64
 	errInternal    atomic.Int64
+}
+
+// countModeSolve records one successfully served solution: the mode
+// that produced it and its certified optimality gap.
+func (m *metrics) countModeSolve(mode gapsched.Mode, gap float64) {
+	switch mode {
+	case gapsched.ModeHeuristic:
+		m.modeHeuristic.Add(1)
+	case gapsched.ModeAuto:
+		m.modeAuto.Add(1)
+	default:
+		m.modeExact.Add(1)
+	}
+	if !(gap > 0) { // exact solves certify themselves: gap 0
+		return
+	}
+	for {
+		old := m.qualityGap.Load()
+		next := math.Float64bits(math.Float64frombits(old) + gap)
+		if m.qualityGap.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// qualityGapTotal reads the summed quality gap.
+func (m *metrics) qualityGapTotal() float64 {
+	return math.Float64frombits(m.qualityGap.Load())
 }
 
 // bumpError increments the counter for one wire error code.
@@ -85,6 +124,12 @@ func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched
 		`code="unavailable"`, m.errUnavailable.Load(),
 		`code="not_found"`, m.errNotFound.Load(),
 		`code="internal"`, m.errInternal.Load())
+	counter("gapschedd_mode_solves_total", "Successfully served solutions, by solver mode.",
+		`mode="exact"`, m.modeExact.Load(),
+		`mode="heuristic"`, m.modeHeuristic.Load(),
+		`mode="auto"`, m.modeAuto.Load())
+	fmt.Fprintf(w, "# HELP gapschedd_quality_gap_total Summed certified optimality gap (cost minus lower bound) over served solutions.\n"+
+		"# TYPE gapschedd_quality_gap_total counter\ngapschedd_quality_gap_total %g\n", m.qualityGapTotal())
 	counter("gapschedd_session_events_total", "Incremental-session lifecycle and usage events.",
 		`event="created"`, m.sessionsCreated.Load(),
 		`event="closed"`, m.sessionsClosed.Load(),

@@ -1,0 +1,201 @@
+package service
+
+// End-to-end coverage of the solver-mode surface: mode threading
+// through /v1/solve, /v1/batch and /v1/session, the per-mode solve
+// counters, and the summed quality-gap gauge.
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestSolveModesEndToEnd drives one instance through every mode and
+// checks the wire fields, the counters, and the gauge.
+func TestSolveModesEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	pool := testPool(1)
+	base := pool[0]
+
+	exact := base
+	exactResp := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", exact))
+	if exactResp.Err != nil {
+		t.Fatalf("exact solve failed: %v", exactResp.Err)
+	}
+	if exactResp.Mode != sched.WireModeExact {
+		t.Fatalf("exact response mode %q", exactResp.Mode)
+	}
+	if exactResp.LowerBound != float64(exactResp.Spans) {
+		t.Fatalf("exact lower bound %v, want its own optimum %d", exactResp.LowerBound, exactResp.Spans)
+	}
+
+	h := base
+	h.Mode = sched.WireModeHeuristic
+	hResp := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", h))
+	if hResp.Err != nil {
+		t.Fatalf("heuristic solve failed: %v", hResp.Err)
+	}
+	if hResp.Mode != sched.WireModeHeuristic || hResp.HeuristicFragments == 0 {
+		t.Fatalf("heuristic response markers: mode %q fragments %d", hResp.Mode, hResp.HeuristicFragments)
+	}
+	if hResp.LowerBound > float64(exactResp.Spans) || hResp.Spans < exactResp.Spans {
+		t.Fatalf("sandwich violated over the wire: lb %v exact %d heur %d", hResp.LowerBound, exactResp.Spans, hResp.Spans)
+	}
+	if err := hResp.Schedule.Validate(base.Instance()); err != nil {
+		t.Fatalf("heuristic wire schedule invalid: %v", err)
+	}
+
+	auto := base
+	auto.Mode, auto.StateBudget = sched.WireModeAuto, math.MaxInt
+	aResp := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", auto))
+	if aResp.Err != nil {
+		t.Fatalf("auto solve failed: %v", aResp.Err)
+	}
+	if aResp.Spans != exactResp.Spans || aResp.HeuristicFragments != 0 {
+		t.Fatalf("auto under unbounded budget: spans %d (exact %d), heur frags %d",
+			aResp.Spans, exactResp.Spans, aResp.HeuristicFragments)
+	}
+
+	st := srv.Stats()
+	for mode, want := range map[string]int64{
+		sched.WireModeExact:     1,
+		sched.WireModeHeuristic: 1,
+		sched.WireModeAuto:      1,
+	} {
+		if st.ModeSolves[mode] != want {
+			t.Errorf("ModeSolves[%s] = %d, want %d", mode, st.ModeSolves[mode], want)
+		}
+	}
+	wantGap := float64(hResp.Spans) - hResp.LowerBound
+	if st.QualityGap != wantGap {
+		t.Errorf("QualityGap %v, want %v", st.QualityGap, wantGap)
+	}
+
+	// The /metrics rendering must expose the same numbers.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`gapschedd_mode_solves_total{mode="exact"} 1`,
+		`gapschedd_mode_solves_total{mode="heuristic"} 1`,
+		`gapschedd_mode_solves_total{mode="auto"} 1`,
+		"gapschedd_quality_gap_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestSolveModeRejected: an unknown mode is a bad_request before it
+// ever reaches a solver.
+func TestSolveModeRejected(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req := testPool(1)[0]
+	req.Mode = "sloppy"
+	resp := postJSON(t, ts.URL+"/v1/solve", req)
+	out := decodeSolve(t, resp)
+	if resp.StatusCode != http.StatusBadRequest || out.Err == nil || out.Err.Code != sched.ErrCodeBadRequest {
+		t.Fatalf("unknown mode: status %d err %+v", resp.StatusCode, out.Err)
+	}
+	if srv.Stats().ModeSolves[sched.WireModeExact] != 0 {
+		t.Fatal("rejected request was counted as a solve")
+	}
+}
+
+// TestBatchMixedModes: one /v1/batch envelope carrying all three modes
+// groups per configuration and counts each element under its own mode.
+func TestBatchMixedModes(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	base := testPool(1)[0]
+	exact, h, auto := base, base, base
+	h.Mode = sched.WireModeHeuristic
+	auto.Mode, auto.StateBudget = sched.WireModeAuto, math.MaxInt
+	resp := postJSON(t, ts.URL+"/v1/batch", sched.BatchRequest{Requests: []sched.SolveRequest{exact, h, auto}})
+	defer resp.Body.Close()
+	breq, err := sched.DecodeBatchResponse(resp.Body)
+	if err != nil {
+		t.Fatalf("undecodable batch response: %v", err)
+	}
+	if len(breq.Responses) != 3 {
+		t.Fatalf("%d responses, want 3", len(breq.Responses))
+	}
+	for i, r := range breq.Responses {
+		if r.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, r.Err)
+		}
+	}
+	if breq.Responses[0].Spans != breq.Responses[2].Spans {
+		t.Fatalf("auto (unbounded) %d spans, exact %d", breq.Responses[2].Spans, breq.Responses[0].Spans)
+	}
+	if breq.Responses[1].Spans < breq.Responses[0].Spans {
+		t.Fatalf("heuristic beat the optimum: %d < %d", breq.Responses[1].Spans, breq.Responses[0].Spans)
+	}
+	st := srv.Stats()
+	for _, mode := range []string{sched.WireModeExact, sched.WireModeHeuristic, sched.WireModeAuto} {
+		if st.ModeSolves[mode] != 1 {
+			t.Errorf("ModeSolves[%s] = %d, want 1", mode, st.ModeSolves[mode])
+		}
+	}
+}
+
+// TestSessionModeThreading: a heuristic-mode session resolves on the
+// heuristic tier and its solves land in the per-mode counters.
+func TestSessionModeThreading(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	create := sched.SessionCreateRequest{
+		Mode: sched.WireModeHeuristic,
+		Jobs: []sched.Job{{Release: 0, Deadline: 3}, {Release: 40, Deadline: 44}},
+	}
+	resp := postJSON(t, ts.URL+"/v1/session", create)
+	defer resp.Body.Close()
+	sresp, err := sched.DecodeSessionResponse(resp.Body)
+	if err != nil || sresp.Err != nil {
+		t.Fatalf("session create: %v %v", err, sresp.Err)
+	}
+
+	solve := decodeSolve(t, postJSON(t, ts.URL+"/v1/session/"+sresp.Session+"/solve", struct{}{}))
+	if solve.Err != nil {
+		t.Fatalf("session solve: %v", solve.Err)
+	}
+	if solve.Mode != sched.WireModeHeuristic || solve.HeuristicFragments != solve.Subinstances {
+		t.Fatalf("session solve markers: mode %q frags %d/%d", solve.Mode, solve.HeuristicFragments, solve.Subinstances)
+	}
+	if solve.LowerBound <= 0 || float64(solve.Spans) < solve.LowerBound {
+		t.Fatalf("session certificate inverted: spans %d lb %v", solve.Spans, solve.LowerBound)
+	}
+	if got := srv.Stats().ModeSolves[sched.WireModeHeuristic]; got != 1 {
+		t.Fatalf("ModeSolves[heuristic] = %d, want 1", got)
+	}
+
+	// A bad mode on create is rejected up front.
+	bad := postJSON(t, ts.URL+"/v1/session", sched.SessionCreateRequest{Mode: "warp"})
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad session mode: status %d", bad.StatusCode)
+	}
+}

@@ -129,10 +129,12 @@ func New(cfg Config) *Server {
 // solverFor binds one solve configuration to the shared pieces.
 func (s *Server) solverFor(key solveKey) gapsched.Solver {
 	return gapsched.Solver{
-		Objective: key.objective,
-		Alpha:     key.alpha,
-		Workers:   s.cfg.Workers,
-		Cache:     s.cache,
+		Objective:   key.objective,
+		Alpha:       key.alpha,
+		Mode:        key.mode,
+		StateBudget: key.budget,
+		Workers:     s.cfg.Workers,
+		Cache:       s.cache,
 	}
 }
 
@@ -168,6 +170,13 @@ type Stats struct {
 	SessionsCreated, SessionsClosed, SessionsExpired int64
 	// SessionsOpen is the number of sessions currently live.
 	SessionsOpen int
+	// ModeSolves counts successfully served solutions by solver mode
+	// ("exact", "heuristic", "auto"), across /v1/solve, /v1/batch
+	// elements, and session resolves.
+	ModeSolves map[string]int64
+	// QualityGap is the summed certified optimality gap (cost −
+	// lowerBound) over every served solution; exact solves contribute 0.
+	QualityGap float64
 	// Buffered is the number of requests currently waiting in open
 	// coalescing windows.
 	Buffered     int
@@ -191,7 +200,13 @@ func (s *Server) Stats() Stats {
 		SessionsClosed:  s.met.sessionsClosed.Load(),
 		SessionsExpired: s.met.sessionsExpired.Load(),
 		SessionsOpen:    s.sessions.open(),
-		Buffered:        s.co.buffered(),
+		ModeSolves: map[string]int64{
+			sched.WireModeExact:     s.met.modeExact.Load(),
+			sched.WireModeHeuristic: s.met.modeHeuristic.Load(),
+			sched.WireModeAuto:      s.met.modeAuto.Load(),
+		},
+		QualityGap: s.met.qualityGapTotal(),
+		Buffered:   s.co.buffered(),
 		Errors: map[string]int64{
 			sched.ErrCodeBadRequest:  s.met.errBadRequest.Load(),
 			sched.ErrCodeInfeasible:  s.met.errInfeasible.Load(),
@@ -209,13 +224,29 @@ func (s *Server) Stats() Stats {
 }
 
 // keyFor maps a validated wire request to its solver configuration.
-// The gaps objective ignores alpha, so it is dropped from the key —
-// gaps requests coalesce regardless of any alpha they happen to carry.
+// Fields an objective or mode ignores are dropped from the key — gaps
+// requests coalesce regardless of any alpha they happen to carry, and
+// only auto-mode requests keep their stateBudget.
 func keyFor(req sched.SolveRequest) solveKey {
+	key := solveKey{objective: gapsched.ObjectiveGaps}
 	if req.Objective == sched.WirePower {
-		return solveKey{objective: gapsched.ObjectivePower, alpha: req.Alpha}
+		key.objective, key.alpha = gapsched.ObjectivePower, req.Alpha
 	}
-	return solveKey{objective: gapsched.ObjectiveGaps}
+	// Validation accepted the request, so the mode name parses.
+	key.mode, _ = gapsched.ParseMode(req.Mode)
+	if key.mode == gapsched.ModeAuto {
+		switch key.budget = req.StateBudget; {
+		case key.budget == 0:
+			// The solver resolves 0 to the default budget; normalizing
+			// here lets explicit-default and zero requests coalesce.
+			key.budget = gapsched.DefaultStateBudget
+		case key.budget < 0:
+			// All negative budgets mean "every fragment heuristic";
+			// collapse them onto one sentinel for the same reason.
+			key.budget = -1
+		}
+	}
+	return key
 }
 
 // wireOutcome converts one solve outcome to its wire form.
@@ -225,14 +256,23 @@ func wireOutcome(out outcome) sched.SolveResponse {
 	}
 	sol := out.sol
 	return sched.SolveResponse{
-		Spans:        sol.Spans,
-		Gaps:         sol.Gaps,
-		Power:        sol.Power,
-		Schedule:     &sol.Schedule,
-		States:       sol.States,
-		Subinstances: sol.Subinstances,
-		CacheHits:    sol.CacheHits,
+		Spans:              sol.Spans,
+		Gaps:               sol.Gaps,
+		Power:              sol.Power,
+		Schedule:           &sol.Schedule,
+		States:             sol.States,
+		Subinstances:       sol.Subinstances,
+		CacheHits:          sol.CacheHits,
+		Mode:               sol.Mode.String(),
+		LowerBound:         sol.LowerBound,
+		HeuristicFragments: sol.HeuristicFragments,
 	}
+}
+
+// costOf extracts the objective's cost from a solution, for the
+// quality-gap accounting.
+func costOf(key solveKey, sol gapsched.Solution) float64 {
+	return key.objective.Cost(sol)
 }
 
 // wireError classifies a solver-side error. Requests are validated
@@ -291,7 +331,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeWireError(w, &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()})
 		return
 	}
-	done, err := s.co.enqueue(r.Context(), keyFor(req), req.Instance())
+	key := keyFor(req)
+	done, err := s.co.enqueue(r.Context(), key, req.Instance())
 	if err != nil {
 		s.writeWireError(w, wireError(err))
 		return
@@ -303,6 +344,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.writeWireError(w, resp.Err)
 			return
 		}
+		s.met.countModeSolve(out.sol.Mode, costOf(key, out.sol)-out.sol.LowerBound)
 		writeJSON(w, http.StatusOK, resp)
 	case <-r.Context().Done():
 		// The client is gone; its window still completes for the
@@ -367,6 +409,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out := wireOutcome(outcome{sol: br.Solution, err: br.Err})
 			if out.Err != nil {
 				s.met.bumpError(out.Err.Code)
+			} else {
+				s.met.countModeSolve(br.Solution.Mode, costOf(key, br.Solution)-br.Solution.LowerBound)
 			}
 			resp.Responses[idxs[j]] = out
 		}

@@ -209,7 +209,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeSessionError(w, &sched.WireError{Code: sched.ErrCodeBadRequest, Message: err.Error()})
 		return
 	}
-	key := keyFor(sched.SolveRequest{Objective: req.Objective, Alpha: req.Alpha})
+	key := keyFor(sched.SolveRequest{Objective: req.Objective, Alpha: req.Alpha, Mode: req.Mode, StateBudget: req.StateBudget})
 	procs := req.Procs
 	if procs == 0 {
 		procs = 1
@@ -302,6 +302,7 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.sessionSolves.Add(1)
+	s.met.countModeSolve(sol.Mode, costOf(e.key, sol)-sol.LowerBound)
 	resp := wireOutcome(outcome{sol: sol})
 	resp.ResolvedFragments = sol.ResolvedFragments
 	resp.ReusedFragments = sol.ReusedFragments

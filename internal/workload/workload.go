@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/feas"
@@ -164,6 +165,106 @@ func OnlineLowerBound(n int) sched.Instance {
 		jobs = append(jobs, sched.Job{Release: a, Deadline: a + 1})
 	}
 	return sched.NewInstance(jobs)
+}
+
+// Stress profile names accepted by Stress (and cmd/gapgen -profile):
+// large feasible-by-construction one-interval instances whose window
+// shapes match the paper's device workloads, sized for the heuristic
+// tier (n far beyond the exact DP's reach).
+const (
+	// ProfileBursty clusters jobs into dense bursts separated by wide
+	// forced-idle runs — the event-driven device shape. Many
+	// medium-sized fragments.
+	ProfileBursty = "bursty"
+	// ProfileSparse scatters tight-window singletons across a huge
+	// horizon — duty-cycled sensors. About n tiny fragments.
+	ProfileSparse = "sparse"
+	// ProfileDense packs every job into one contiguous overlapping
+	// region — a single fragment far too large for the exact tier.
+	ProfileDense = "dense"
+)
+
+// StressProfiles lists the valid Stress profile names.
+var StressProfiles = []string{ProfileBursty, ProfileSparse, ProfileDense}
+
+// Stress generates a large stress instance of the named profile. The
+// instances are feasible by construction — every job's window contains
+// a witness slot, and no (processor, time) slot is used twice — because
+// redraw-until-feasible is not viable at these sizes.
+func Stress(rng *rand.Rand, profile string, n, p int) (sched.Instance, error) {
+	switch profile {
+	case ProfileBursty:
+		return StressBursty(rng, n, p), nil
+	case ProfileSparse:
+		return StressSparse(rng, n, p), nil
+	case ProfileDense:
+		return StressDense(rng, n, p), nil
+	}
+	return sched.Instance{}, fmt.Errorf("workload: unknown stress profile %q (want %s, %s or %s)",
+		profile, ProfileBursty, ProfileSparse, ProfileDense)
+}
+
+// StressBursty builds n jobs in ~n/64 dense clusters separated by wide
+// idle runs. Within a cluster, p jobs are anchored per time unit with
+// small window jitter, so the cluster is busy nearly wall to wall.
+func StressBursty(rng *rand.Rand, n, p int) sched.Instance {
+	if p < 1 {
+		p = 1
+	}
+	const perCluster = 64
+	span := (perCluster + p - 1) / p
+	spacing := 8 * (span + 8) // wide forced-idle runs between clusters
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		cluster, k := i/perCluster, i%perCluster
+		anchor := cluster*spacing + k/p
+		r := anchor - rng.Intn(3)
+		if lo := cluster * spacing; r < lo {
+			r = lo
+		}
+		jobs[i] = sched.Job{Release: r, Deadline: anchor + rng.Intn(4)}
+	}
+	return sched.NewMultiprocInstance(jobs, p)
+}
+
+// StressSparse builds n singleton jobs, each with a tight window around
+// its own anchor, anchors strided far apart: almost every job is its
+// own fragment. p is recorded on the instance but never binds.
+func StressSparse(rng *rand.Rand, n, p int) sched.Instance {
+	if p < 1 {
+		p = 1
+	}
+	const stride = 16
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		anchor := i * stride
+		r := anchor - rng.Intn(3)
+		if r < 0 {
+			r = 0
+		}
+		jobs[i] = sched.Job{Release: r, Deadline: anchor + rng.Intn(3)}
+	}
+	return sched.NewMultiprocInstance(jobs, p)
+}
+
+// StressDense packs all n jobs into one contiguous region: p anchors
+// per time unit over a horizon of ⌈n/p⌉, windows jittered a few dozen
+// units either way, so the whole instance is a single huge fragment.
+func StressDense(rng *rand.Rand, n, p int) sched.Instance {
+	if p < 1 {
+		p = 1
+	}
+	const jitter = 24
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		anchor := i / p
+		r := anchor - rng.Intn(jitter)
+		if r < 0 {
+			r = 0
+		}
+		jobs[i] = sched.Job{Release: r, Deadline: anchor + rng.Intn(jitter)}
+	}
+	return sched.NewMultiprocInstance(jobs, p)
 }
 
 // TightChain builds n back-to-back unit jobs: job i exactly at time i.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/feas"
+	"repro/internal/prep"
 )
 
 func TestGeneratorsValid(t *testing.T) {
@@ -106,5 +107,47 @@ func TestDeterminism(t *testing.T) {
 		if a.Jobs[i] != b.Jobs[i] {
 			t.Fatal("same seed produced different instances")
 		}
+	}
+}
+
+// Stress profiles must be feasible by construction at any size (here
+// checked with Hall at sizes the checker can afford), with the
+// fragment structure each profile advertises.
+func TestStressProfilesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, profile := range StressProfiles {
+		for _, p := range []int{1, 3} {
+			in, err := Stress(rng, profile, 120, p)
+			if err != nil {
+				t.Fatalf("%s: %v", profile, err)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s: invalid: %v", profile, err)
+			}
+			if in.Procs != p || len(in.Jobs) != 120 {
+				t.Fatalf("%s: shape %d procs %d jobs", profile, in.Procs, len(in.Jobs))
+			}
+			if !feas.FeasibleOneInterval(in) {
+				t.Fatalf("%s (p=%d): infeasible stress instance", profile, p)
+			}
+		}
+	}
+	if _, err := Stress(rng, "warp", 10, 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+
+	// Fragment structure: sparse ≈ one fragment per job, dense = one
+	// fragment, bursty in between.
+	sparse, _ := Stress(rng, ProfileSparse, 100, 1)
+	if got := len(prep.ForGaps(sparse).Subs); got < 50 {
+		t.Errorf("sparse decomposed into %d fragments, want many", got)
+	}
+	dense, _ := Stress(rng, ProfileDense, 100, 2)
+	if got := len(prep.ForGaps(dense).Subs); got != 1 {
+		t.Errorf("dense decomposed into %d fragments, want 1", got)
+	}
+	bursty, _ := Stress(rng, ProfileBursty, 256, 2)
+	if got := len(prep.ForGaps(bursty).Subs); got != 4 {
+		t.Errorf("bursty decomposed into %d fragments, want 4 clusters", got)
 	}
 }

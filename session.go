@@ -159,7 +159,8 @@ func (ss *Session) Resolve() (Solution, error) {
 	}
 	cost, schedule, counts, err := ss.tr.Resolve(func(fr sched.Instance) incr.Result {
 		r := ss.solver.solveFragment(ss.rt, ss.cache, fr)
-		return incr.Result{Cost: r.cost, Schedule: r.schedule, States: r.states, Hit: r.hit, Err: r.err}
+		return incr.Result{Cost: r.cost, Schedule: r.schedule, States: r.states,
+			LB: r.lb, Heur: r.heur, Hit: r.hit, Err: r.err}
 	})
 	if err != nil {
 		return Solution{}, err
@@ -168,12 +169,15 @@ func (ss *Session) Resolve() (Solution, error) {
 		return Solution{}, err
 	}
 	sol := Solution{
-		Schedule:          schedule,
-		States:            counts.States,
-		Subinstances:      ss.tr.Fragments(),
-		CacheHits:         counts.CacheHits,
-		ResolvedFragments: counts.Resolved,
-		ReusedFragments:   counts.Reused,
+		Schedule:           schedule,
+		States:             counts.States,
+		Subinstances:       ss.tr.Fragments(),
+		CacheHits:          counts.CacheHits,
+		ResolvedFragments:  counts.Resolved,
+		ReusedFragments:    counts.Reused,
+		Mode:               ss.solver.Mode,
+		LowerBound:         counts.LowerBound,
+		HeuristicFragments: counts.HeuristicFragments,
 	}
 	ss.rt.finish(&sol, cost)
 	return sol, nil

@@ -2,6 +2,7 @@ package gapsched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fragcache"
+	"repro/internal/heur"
 	"repro/internal/prep"
 	"repro/internal/sched"
 )
@@ -35,12 +37,79 @@ func (o Objective) String() string {
 	return fmt.Sprintf("Objective(%d)", int(o))
 }
 
-// Solver is the configured entry point to the exact solving pipeline:
+// Mode selects which solving tier serves an instance's fragments.
+type Mode int
+
+const (
+	// ModeExact (the default) runs the exact DP engine on every
+	// fragment: optimal costs, polynomial but steep in fragment size.
+	ModeExact Mode = iota
+	// ModeHeuristic runs the near-linear greedy tier (internal/heur) on
+	// every fragment: always-feasible schedules with certified
+	// optimality gaps (Solution.LowerBound ≤ OPT ≤ cost), serving
+	// instance sizes the exact tier cannot.
+	ModeHeuristic
+	// ModeAuto picks per fragment: fragments whose estimated DP size
+	// (prep.StateEstimate) is within Solver.StateBudget are solved
+	// exactly, the rest heuristically — so mixed instances get exact
+	// answers wherever exact is affordable, and the Solution's
+	// LowerBound stays tight (exact fragments contribute their optimal
+	// cost to it).
+	ModeAuto
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeHeuristic:
+		return "heuristic"
+	case ModeAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Cost returns sol's value under objective o, in the objective's own
+// units: the span count (as a float) for ObjectiveGaps, the power for
+// ObjectivePower. It pairs with Solution.LowerBound, which is
+// expressed in the same units, so sol's certified optimality gap is
+// o.Cost(sol) − sol.LowerBound.
+func (o Objective) Cost(sol Solution) float64 {
+	if o == ObjectivePower {
+		return sol.Power
+	}
+	return float64(sol.Spans)
+}
+
+// ParseMode parses the mode names used by the CLIs and the wire format
+// — "exact", "heuristic", "auto" — with "" meaning ModeExact.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "exact":
+		return ModeExact, nil
+	case "heuristic":
+		return ModeHeuristic, nil
+	case "auto":
+		return ModeAuto, nil
+	}
+	return 0, fmt.Errorf("gapsched: unknown mode %q (want exact, heuristic or auto)", s)
+}
+
+// DefaultStateBudget is the ModeAuto exact-tier admission bound used
+// when Solver.StateBudget is zero. It is calibrated so fragments of up
+// to a few hundred jobs (sub-millisecond exact solves) stay exact while
+// the huge fragments that would stall the engine go to the heuristic.
+const DefaultStateBudget = 1 << 25
+
+// Solver is the configured entry point to the solving pipeline:
 // preprocessing (instance decomposition and coordinate compression, see
-// internal/prep), the unified DP engine (internal/core), an optional
-// canonical-fragment solution cache, and — for SolveBatch — a bounded
-// worker pool fed at fragment granularity. The zero value minimizes
-// gaps with preprocessing enabled and no cache.
+// internal/prep), the solving tiers — the unified exact DP engine
+// (internal/core) and the certified greedy heuristic (internal/heur),
+// selected by Mode — an optional canonical-fragment solution cache,
+// and, for SolveBatch, a bounded worker pool fed at fragment
+// granularity. The zero value minimizes gaps exactly with
+// preprocessing enabled and no cache.
 type Solver struct {
 	// Objective selects the cost model. Default: ObjectiveGaps.
 	Objective Objective
@@ -61,10 +130,20 @@ type Solver struct {
 	CacheSize int
 	// Cache, when non-nil, is a persistent canonical-fragment solution
 	// cache consulted by both Solve and SolveBatch and shared across
-	// calls (and across Solvers — entries are keyed by objective and
-	// alpha, so differently configured Solvers can share one cache).
-	// Takes precedence over CacheSize.
+	// calls (and across Solvers — entries are keyed by objective,
+	// alpha, and solving tier, so differently configured Solvers can
+	// share one cache without ever conflating an exact fragment
+	// solution with a heuristic one). Takes precedence over CacheSize.
 	Cache *FragmentCache
+	// Mode selects the solving tier: ModeExact (default), ModeHeuristic,
+	// or ModeAuto, which decides per fragment using StateBudget.
+	Mode Mode
+	// StateBudget is ModeAuto's exact-tier admission bound: a fragment
+	// is solved exactly when its estimated DP size
+	// (prep.StateEstimate) is at most this. Zero means
+	// DefaultStateBudget; a negative budget sends every fragment to
+	// the heuristic. Ignored by ModeExact and ModeHeuristic.
+	StateBudget int
 }
 
 // Solution is the unified outcome of a Solver run.
@@ -100,6 +179,21 @@ type Solution struct {
 	// Both are 0 for one-shot Solve/SolveBatch results.
 	ResolvedFragments int
 	ReusedFragments   int
+	// Mode records the Solver.Mode that produced this solution.
+	Mode Mode
+	// LowerBound is a certified lower bound on the optimal cost of the
+	// solved instance, in the objective's own units (spans for
+	// ObjectiveGaps, power for ObjectivePower): LowerBound ≤ OPT ≤ the
+	// reported cost. Fragments solved exactly contribute their optimal
+	// cost; fragments served by the heuristic tier contribute the
+	// internal/heur certificates (Hall/density span bound,
+	// active-units + forced-transitions power bound). For a pure exact
+	// solve it therefore equals the optimal cost itself.
+	LowerBound float64
+	// HeuristicFragments counts the fragments served by the heuristic
+	// tier; 0 for ModeExact, Subinstances for ModeHeuristic, and
+	// in between for ModeAuto on mixed instances.
+	HeuristicFragments int
 }
 
 // FragmentCache is a sharded, bounded (LRU per shard) cache of
@@ -132,42 +226,97 @@ func (fc *FragmentCache) Len() int { return fc.c.Len() }
 // fragSolution is one cached canonical-fragment outcome. The schedule
 // is in canonical job order; err is typically ErrInfeasible (infeasible
 // fragments are cached too, so repeated infeasible duplicates do not
-// re-run the feasibility machinery).
+// re-run the feasibility machinery). lb is the fragment's certified
+// lower bound — the optimal cost itself when the fragment was solved
+// exactly, the internal/heur certificate when heur is set.
 type fragSolution struct {
 	cost     float64
 	schedule sched.Schedule
 	states   int
+	lb       float64
+	heur     bool
 	err      error
 }
 
-// objectiveRuntime binds the objective-specific pieces of the pipeline
-// after the configuration has been validated once: how to decompose an
-// instance, how to solve one fragment, and how to interpret the
-// accumulated cost. Sharing it between Solve and SolveBatch is what
-// makes their validation and results uniform.
+// heurTag marks heuristic-tier entries in the cache key's tag byte, so
+// a heuristic fragment solution can never be served where an exact one
+// is expected (or vice versa) even when Solvers of different modes
+// share one FragmentCache.
+const heurTag = 0x80
+
+// objectiveRuntime binds the objective- and mode-specific pieces of
+// the pipeline after the configuration has been validated once: how to
+// decompose an instance, how to solve one fragment on each tier, which
+// tier a fragment goes to, and how to interpret the accumulated cost.
+// Sharing it between Solve and SolveBatch is what makes their
+// validation and results uniform.
 type objectiveRuntime struct {
-	tag       byte // cache-key objective tag
-	alpha     float64
-	plan      func(sched.Instance) *prep.Plan
-	solveFrag func(sched.Instance) (float64, sched.Schedule, int, error)
-	finish    func(*Solution, float64)
+	tag        byte // cache-key objective tag
+	alpha      float64
+	mode       Mode
+	budget     int // resolved ModeAuto admission bound
+	plan       func(sched.Instance) *prep.Plan
+	solveExact func(sched.Instance) fragSolution
+	solveHeur  func(sched.Instance) fragSolution
+	finish     func(*Solution, float64)
 }
 
-// runtime validates the Solver configuration — Alpha and Objective —
-// in one place, so Solve and SolveBatch report identical errors for
-// identical misconfigurations regardless of objective path.
+// heuristicTier reports whether this fragment is served by the greedy
+// tier under the configured mode. ModeAuto admits a fragment to the
+// exact tier when its estimated DP size fits the budget; the estimate
+// depends only on the job multiset and processor count, so the
+// decision is identical for a fragment and its canonical form.
+func (rt *objectiveRuntime) heuristicTier(fr sched.Instance) bool {
+	switch rt.mode {
+	case ModeHeuristic:
+		return true
+	case ModeAuto:
+		return prep.StateEstimate(fr) > rt.budget
+	}
+	return false
+}
+
+// heurErr maps the heuristic tier's infeasibility onto the facade's
+// ErrInfeasible, so callers see one error identity regardless of tier.
+func heurErr(err error) error {
+	if errors.Is(err, heur.ErrInfeasible) {
+		return ErrInfeasible
+	}
+	return err
+}
+
+// runtime validates the Solver configuration — Alpha, Objective, and
+// Mode — in one place, so Solve and SolveBatch report identical errors
+// for identical misconfigurations regardless of objective path.
 func (s Solver) runtime() (objectiveRuntime, error) {
 	if s.Alpha < 0 {
 		return objectiveRuntime{}, fmt.Errorf("gapsched: negative transition cost alpha %v", s.Alpha)
 	}
+	switch s.Mode {
+	case ModeExact, ModeHeuristic, ModeAuto:
+	default:
+		return objectiveRuntime{}, fmt.Errorf("gapsched: unknown mode %v", s.Mode)
+	}
+	budget := s.StateBudget
+	if budget == 0 {
+		budget = DefaultStateBudget
+	}
 	switch s.Objective {
 	case ObjectiveGaps:
 		return objectiveRuntime{
-			tag:  byte(ObjectiveGaps),
-			plan: prep.ForGaps,
-			solveFrag: func(fr sched.Instance) (float64, sched.Schedule, int, error) {
+			tag:    byte(ObjectiveGaps),
+			mode:   s.Mode,
+			budget: budget,
+			plan:   prep.ForGaps,
+			solveExact: func(fr sched.Instance) fragSolution {
 				res, err := core.SolveGaps(fr)
-				return float64(res.Spans), res.Schedule, res.States, err
+				return fragSolution{cost: float64(res.Spans), schedule: res.Schedule,
+					states: res.States, lb: float64(res.Spans), err: err}
+			},
+			solveHeur: func(fr sched.Instance) fragSolution {
+				res, err := heur.SolveGapsFragment(fr)
+				return fragSolution{cost: res.Cost, schedule: res.Schedule,
+					lb: res.LowerBound, heur: true, err: heurErr(err)}
 			},
 			finish: func(sol *Solution, cost float64) {
 				sol.Spans = int(cost)
@@ -177,12 +326,20 @@ func (s Solver) runtime() (objectiveRuntime, error) {
 	case ObjectivePower:
 		alpha := s.Alpha
 		return objectiveRuntime{
-			tag:   byte(ObjectivePower),
-			alpha: alpha,
-			plan:  func(in sched.Instance) *prep.Plan { return prep.ForPower(in, alpha) },
-			solveFrag: func(fr sched.Instance) (float64, sched.Schedule, int, error) {
+			tag:    byte(ObjectivePower),
+			alpha:  alpha,
+			mode:   s.Mode,
+			budget: budget,
+			plan:   func(in sched.Instance) *prep.Plan { return prep.ForPower(in, alpha) },
+			solveExact: func(fr sched.Instance) fragSolution {
 				res, err := core.SolvePower(fr, alpha)
-				return res.Power, res.Schedule, res.States, err
+				return fragSolution{cost: res.Power, schedule: res.Schedule,
+					states: res.States, lb: res.Power, err: err}
+			},
+			solveHeur: func(fr sched.Instance) fragSolution {
+				res, err := heur.SolvePowerFragment(fr, alpha)
+				return fragSolution{cost: res.Cost, schedule: res.Schedule,
+					lb: res.LowerBound, heur: true, err: heurErr(err)}
 			},
 			finish: func(sol *Solution, cost float64) {
 				sol.Power = cost
@@ -200,6 +357,8 @@ type fragResult struct {
 	cost     float64
 	schedule sched.Schedule
 	states   int
+	lb       float64
+	heur     bool
 	hit      bool
 	err      error
 }
@@ -245,23 +404,27 @@ func (s Solver) prepare(in Instance, rt objectiveRuntime) *preparedInstance {
 	return p
 }
 
-// solveFragment solves one fragment, through the cache when one is
-// configured. Cached solves run on the canonical form of the fragment
-// (jobs sorted in compressed coordinates) and the stored schedule is
-// mapped back through the canonicalization permutation, so a hit
-// returns a schedule of the fragment as given.
+// solveFragment solves one fragment on the tier the configured mode
+// assigns it, through the cache when one is configured. Cached solves
+// run on the canonical form of the fragment (jobs sorted in compressed
+// coordinates) and the stored schedule is mapped back through the
+// canonicalization permutation, so a hit returns a schedule of the
+// fragment as given; heuristic-tier entries carry a distinct key tag,
+// so tiers never serve each other's solutions.
 func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sched.Instance) fragResult {
+	solve, tag := rt.solveExact, rt.tag
+	if rt.heuristicTier(fr) {
+		solve, tag = rt.solveHeur, rt.tag|heurTag
+	}
 	if cache == nil {
-		cost, schedule, states, err := rt.solveFrag(fr)
-		return fragResult{cost: cost, schedule: schedule, states: states, err: err}
+		val := solve(fr)
+		return fragResult{cost: val.cost, schedule: val.schedule, states: val.states,
+			lb: val.lb, heur: val.heur, err: val.err}
 	}
 	canon, perm := prep.Canonicalize(fr)
-	key := prep.CanonicalKey(canon, rt.tag, rt.alpha)
-	val, hit := cache.c.Do(key, func() fragSolution {
-		cost, schedule, states, err := rt.solveFrag(canon)
-		return fragSolution{cost: cost, schedule: schedule, states: states, err: err}
-	})
-	res := fragResult{cost: val.cost, states: val.states, hit: hit, err: val.err}
+	key := prep.CanonicalKey(canon, tag, rt.alpha)
+	val, hit := cache.c.Do(key, func() fragSolution { return solve(canon) })
+	res := fragResult{cost: val.cost, states: val.states, lb: val.lb, heur: val.heur, hit: hit, err: val.err}
 	if val.err == nil {
 		// Canonical job i is fragment job perm[i]; their windows agree,
 		// so rerouting the slots yields a valid fragment schedule. The
@@ -287,7 +450,7 @@ func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Soluti
 	if p.err != nil {
 		return Solution{}, p.err
 	}
-	sol := Solution{Subinstances: len(p.frags)}
+	sol := Solution{Subinstances: len(p.frags), Mode: s.Mode}
 	parts := make([]sched.Schedule, len(p.frags))
 	cost := 0.0
 	for i := range p.results {
@@ -296,7 +459,11 @@ func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Soluti
 			return Solution{}, r.err
 		}
 		cost += r.cost
+		sol.LowerBound += r.lb
 		sol.States += r.states
+		if r.heur {
+			sol.HeuristicFragments++
+		}
 		if r.hit {
 			sol.CacheHits++
 		}
