@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // costModel supplies the objective-specific pieces of the shared
 // interval-decomposition recursion. The engine owns the skeleton —
@@ -49,6 +52,11 @@ type costModel interface {
 // infinite marks unreachable subproblems. Finite costs never reach it:
 // the engine only adds child costs that compare strictly below it.
 var infinite = math.Inf(1)
+
+// rightsPool recycles the per-grid-point right-child buffers compute
+// uses. compute recurses through dp, so the buffer cannot live on the
+// engine; a pool keeps the recursion allocation-free past warm-up.
+var rightsPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // node identifies one subproblem. Interval endpoints are stored as
 // indices into the engine's t1val/t2val tables, not as raw times, so
@@ -194,10 +202,28 @@ func (e *engine[M]) compute(nd node) entry {
 		hi = t2 - 1
 	}
 	giLo, giHi := e.gridRange(lo, hi)
+
+	// The right child of a split at t′ = grid[gi] does not depend on the
+	// profile height busy at t′, so its dp value is shared by every busy
+	// (and by the point-left branch). rights caches it per (gi, next),
+	// filled lazily — −1 marks "not yet evaluated" (costs are ≥ 0) — so
+	// the set of dp calls, and with it the memoized state count, is
+	// exactly what the unhoisted loop produced.
+	rp := rightsPool.Get().(*[]float64)
+	rights := *rp
+	if cap(rights) <= e.p {
+		rights = make([]float64, e.p+1)
+	} else {
+		rights = rights[:e.p+1]
+	}
+
 	for gi := giLo; gi < giHi; gi++ {
 		tp := e.grid[gi]
 		i := pendingAfter(e.jobs, list, k, tp)
 		kL := k - 1 - i
+		for x := range rights {
+			rights[x] = -1
+		}
 
 		// Context jobs stacked at t2 by ancestors count toward the
 		// profile at t′+1 exactly when t′+1 = t2.
@@ -218,7 +244,11 @@ func (e *engine[M]) compute(nd node) entry {
 				continue
 			}
 			for next := 0; next <= e.p; next++ {
-				right := e.dp(node{gi + 1, nd.i2, i, next, l2, c2})
+				right := rights[next]
+				if right < 0 {
+					right = e.dp(node{gi + 1, nd.i2, i, next, l2, c2})
+					rights[next] = right
+				}
 				if right >= infinite {
 					continue
 				}
@@ -236,7 +266,11 @@ func (e *engine[M]) compute(nd node) entry {
 				continue
 			}
 			for next := 0; next <= e.p; next++ {
-				right := e.dp(node{gi + 1, nd.i2, i, next, l2, c2})
+				right := rights[next]
+				if right < 0 {
+					right = e.dp(node{gi + 1, nd.i2, i, next, l2, c2})
+					rights[next] = right
+				}
 				if right >= infinite {
 					continue
 				}
@@ -246,6 +280,8 @@ func (e *engine[M]) compute(nd node) entry {
 			}
 		}
 	}
+	*rp = rights
+	rightsPool.Put(rp)
 	return best
 }
 
