@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/sched"
 )
@@ -55,7 +56,8 @@ type base struct {
 	byDL []int // all job indices in (deadline, release, index) order
 	grid []int // candidate execution times, sorted ascending
 
-	lists map[[2]int][]int // (t1,t2) → R(t1,t2) in deadline order
+	listMu sync.RWMutex     // guards lists: parallel-root workers share the cache
+	lists  map[[2]int][]int // (t1,t2) → R(t1,t2) in deadline order
 }
 
 func newBase(in sched.Instance) *base {
@@ -103,16 +105,21 @@ func newBase(in sched.Instance) *base {
 // [t1, t2], cached per interval.
 func (b *base) list(t1, t2 int) []int {
 	key := [2]int{t1, t2}
-	if l, ok := b.lists[key]; ok {
+	b.listMu.RLock()
+	l, ok := b.lists[key]
+	b.listMu.RUnlock()
+	if ok {
 		return l
 	}
-	l := []int{}
+	l = []int{}
 	for _, j := range b.byDL {
 		if a := b.jobs[j].Release; t1 <= a && a <= t2 {
 			l = append(l, j)
 		}
 	}
+	b.listMu.Lock()
 	b.lists[key] = l
+	b.listMu.Unlock()
 	return l
 }
 
@@ -138,12 +145,13 @@ func pendingAfter(jobs []sched.Job, list []int, k, t int) int {
 // choice kinds recorded for reconstruction. choiceUnset must stay zero:
 // the flat memo table treats a zero entry as "not yet computed".
 const (
-	choiceUnset = iota // memo slot never written
-	choiceNone         // infeasible
-	choiceEmpty        // base case, no own jobs
-	choicePoint        // base case t1 == t2, all k jobs at t1
-	choiceA            // j_k placed at t2 (paper case t′ = t2)
-	choiceB            // j_k placed at t′ < t2, split into two children
+	choiceUnset  = iota // memo slot never written
+	choiceNone          // infeasible
+	choiceEmpty         // base case, no own jobs
+	choicePoint         // base case t1 == t2, all k jobs at t1
+	choiceA             // j_k placed at t2 (paper case t′ = t2)
+	choiceB             // j_k placed at t′ < t2, split into two children
+	choicePruned        // cut by branch and bound; cost holds the budget
 )
 
 // Result reports the outcome of an exact gap-scheduling solve.
@@ -160,6 +168,12 @@ type Result struct {
 	// States is the number of memoized subproblems, a measure of the
 	// DP's effective size.
 	States int
+	// PrunedStates counts subproblems answered by the branch-and-bound
+	// lower bound (or a memoized prune marker) without being expanded;
+	// 0 when pruning is disabled.
+	PrunedStates int
+	// ExpandedStates counts subproblems the recursion actually expanded.
+	ExpandedStates int
 }
 
 // PowerResult reports the outcome of an exact power-minimization solve.
@@ -171,6 +185,11 @@ type PowerResult struct {
 	Schedule sched.Schedule
 	// States is the number of memoized subproblems.
 	States int
+	// PrunedStates counts subproblems answered by the branch-and-bound
+	// lower bound without being expanded; 0 when pruning is disabled.
+	PrunedStates int
+	// ExpandedStates counts subproblems the recursion actually expanded.
+	ExpandedStates int
 }
 
 // assemble builds a staircase schedule from job→time placements.

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/feas"
+	"repro/internal/heur"
 	"repro/internal/sched"
 )
 
@@ -54,6 +57,12 @@ func (m gapModel) boundary(level, next, ctx int) float64 {
 	return 0
 }
 
+// nodeLB: the subinterval restriction of the heuristic tier's span
+// bound (admissibility argued at heur.SubSpanLB).
+func (m gapModel) nodeLB(k, l1, l2, c2, t1, t2 int) float64 {
+	return float64(heur.SubSpanLB(k, l1, l2, c2, t1, t2))
+}
+
 // Options tunes the gap DP for ablation experiments (E15). The zero
 // value is the production configuration.
 type Options struct {
@@ -61,6 +70,22 @@ type Options struct {
 	// neighbourhoods, Baptiste's Prop 2.1) with every integer time of
 	// the horizon. The optimum is unchanged; the state count grows.
 	FullGrid bool
+
+	// NoPrune disables branch-and-bound pruning (no greedy incumbent, no
+	// per-node bound checks). The optimum and the reconstructed schedule
+	// are identical either way — pruning only skips subproblems that
+	// provably cannot improve on the incumbent — so this exists for
+	// ablation and for the fuzz lanes that certify that identity.
+	NoPrune bool
+}
+
+// incumbentBudget turns a feasible heuristic cost into the engine's
+// branch-and-bound budget: one ulp above the incumbent, so a node is cut
+// only when its bound strictly exceeds every cost the incumbent still
+// allows (an optimum equal to the incumbent stays below the budget and
+// is found exactly).
+func incumbentBudget(ub float64) float64 {
+	return math.Nextafter(ub, infinite)
 }
 
 // SolveGaps computes an optimal minimum-wake-up schedule for a
@@ -90,8 +115,21 @@ func SolveGapsOpt(in sched.Instance, opts Options) (Result, error) {
 			b.grid = append(b.grid, t)
 		}
 	}
+	budget := infinite
+	if !opts.NoPrune {
+		if s, err := heur.Greedy(in); err == nil {
+			budget = incumbentBudget(float64(s.Spans()))
+		}
+	}
 	e := newEngine(b, gapModel{p: b.p})
-	cost, placed, states, ok := e.run(n)
+	cost, placed, states, ok := e.run(n, budget)
+	if !ok && budget < infinite {
+		// Defensive: the greedy cost upper-bounds the optimum, so a
+		// bounded run cannot come back empty unless the incumbent was
+		// somehow below the optimum; re-solve unbounded rather than
+		// misreport infeasibility.
+		cost, placed, states, ok = e.run(n, infinite)
+	}
 	if !ok {
 		// Cannot happen after the Hall pre-check; defensive.
 		return Result{}, ErrInfeasible
@@ -105,9 +143,11 @@ func SolveGapsOpt(in sched.Instance, opts Options) (Result, error) {
 	}
 	spans := int(cost)
 	return Result{
-		Spans:    spans,
-		Gaps:     spans - 1,
-		Schedule: schedule,
-		States:   states,
+		Spans:          spans,
+		Gaps:           spans - 1,
+		Schedule:       schedule,
+		States:         states,
+		PrunedStates:   int(e.pruned.Load()),
+		ExpandedStates: int(e.expanded.Load()),
 	}, nil
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestParallelRootMatchesSerial certifies the intra-fragment parallel
+// root: on a fragment above parallelRootMinJobs, fanning the root's
+// case-B grid points across workers must reproduce the serial solve bit
+// for bit — cost and reconstructed schedule. GOMAXPROCS gates the
+// parallel path, so the test drives both settings explicitly.
+func TestParallelRootMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense instance")
+	}
+	rng := rand.New(rand.NewSource(71))
+	in := workload.StressDense(rng, parallelRootMinJobs+28, 3)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, serr := SolveGaps(in)
+	serialNP, snperr := SolveGapsOpt(in, Options{NoPrune: true})
+	runtime.GOMAXPROCS(4)
+	par, perr := SolveGaps(in)
+	parNP, pnperr := SolveGapsOpt(in, Options{NoPrune: true})
+	runtime.GOMAXPROCS(prev)
+
+	for _, err := range []error{serr, snperr, perr, pnperr} {
+		if err != nil {
+			t.Fatalf("solve failed: %v", err)
+		}
+	}
+	if par.Spans != serial.Spans {
+		t.Fatalf("parallel spans %d != serial %d", par.Spans, serial.Spans)
+	}
+	if !reflect.DeepEqual(par.Schedule, serial.Schedule) {
+		t.Fatal("parallel schedule differs from serial")
+	}
+	if parNP.Spans != serial.Spans {
+		t.Fatalf("parallel NoPrune spans %d != serial %d", parNP.Spans, serial.Spans)
+	}
+	if !reflect.DeepEqual(parNP.Schedule, serialNP.Schedule) {
+		t.Fatal("parallel NoPrune schedule differs from serial NoPrune")
+	}
+	if parNP.PrunedStates != 0 {
+		t.Fatalf("parallel NoPrune reported %d pruned states", parNP.PrunedStates)
+	}
+	// NoPrune visits the full reachable state set regardless of worker
+	// interleaving: racing duplicate computations merge into one entry.
+	if parNP.States != serialNP.States {
+		t.Fatalf("parallel NoPrune states %d != serial %d", parNP.States, serialNP.States)
+	}
+}
+
+// TestParallelRootPower is the same contract for the power DP.
+func TestParallelRootPower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense instance")
+	}
+	rng := rand.New(rand.NewSource(72))
+	in := workload.StressDense(rng, parallelRootMinJobs+13, 2)
+
+	prev := runtime.GOMAXPROCS(1)
+	serial, serr := SolvePower(in, 2.5)
+	runtime.GOMAXPROCS(4)
+	par, perr := SolvePower(in, 2.5)
+	runtime.GOMAXPROCS(prev)
+
+	if serr != nil || perr != nil {
+		t.Fatalf("solve failed: %v / %v", serr, perr)
+	}
+	if par.Power != serial.Power {
+		t.Fatalf("parallel power %v != serial %v", par.Power, serial.Power)
+	}
+	if !reflect.DeepEqual(par.Schedule, serial.Schedule) {
+		t.Fatal("parallel schedule differs from serial")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/feas"
+	"repro/internal/heur"
 	"repro/internal/sched"
 )
 
@@ -70,12 +71,24 @@ func (m powerModel) boundary(level, next, ctx int) float64 {
 	return c
 }
 
+// nodeLB: the subinterval restriction of the heuristic tier's power
+// bound (admissibility argued at heur.SubPowerLB).
+func (m powerModel) nodeLB(k, l1, l2, c2, t1, t2 int) float64 {
+	return heur.SubPowerLB(k, l1, l2, c2, t1, t2, m.alpha)
+}
+
 // SolvePower computes an optimal minimum-power schedule for a
 // one-interval p-processor instance with transition cost alpha
 // (Theorem 2). Processors may remain active without executing a job
 // (bridging); the optimum therefore bridges exactly the gaps shorter
 // than alpha. It returns ErrInfeasible when no feasible schedule exists.
 func SolvePower(in sched.Instance, alpha float64) (PowerResult, error) {
+	return SolvePowerOpt(in, alpha, Options{})
+}
+
+// SolvePowerOpt is SolvePower with explicit tuning options (FullGrid
+// does not apply to the power DP and is ignored).
+func SolvePowerOpt(in sched.Instance, alpha float64, opts Options) (PowerResult, error) {
 	if err := in.Validate(); err != nil {
 		return PowerResult{}, err
 	}
@@ -89,9 +102,21 @@ func SolvePower(in sched.Instance, alpha float64) (PowerResult, error) {
 	if !feas.FeasibleOneInterval(in) {
 		return PowerResult{}, ErrInfeasible
 	}
+	budget := infinite
+	if !opts.NoPrune {
+		if s, err := heur.Greedy(in); err == nil {
+			budget = incumbentBudget(s.PowerCost(alpha))
+		}
+	}
 	b := newBase(in)
 	e := newEngine(b, powerModel{p: b.p, alpha: alpha})
-	cost, placed, states, ok := e.run(n)
+	cost, placed, states, ok := e.run(n, budget)
+	if !ok && budget < infinite {
+		// Defensive, as in SolveGapsOpt: never let a too-tight incumbent
+		// (conceivable only through float summation-order effects in the
+		// greedy's cost) masquerade as infeasibility.
+		cost, placed, states, ok = e.run(n, infinite)
+	}
 	if !ok {
 		// Cannot happen after the Hall pre-check; defensive.
 		return PowerResult{}, ErrInfeasible
@@ -103,7 +128,8 @@ func SolvePower(in sched.Instance, alpha float64) (PowerResult, error) {
 	if err := schedule.Validate(in); err != nil {
 		return PowerResult{}, err
 	}
-	return PowerResult{Power: cost, Schedule: schedule, States: states}, nil
+	return PowerResult{Power: cost, Schedule: schedule, States: states,
+		PrunedStates: int(e.pruned.Load()), ExpandedStates: int(e.expanded.Load())}, nil
 }
 
 var errNegativeAlpha = errInvalid("core: negative transition cost alpha")

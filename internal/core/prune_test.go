@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestPrunedGapsMatchesUnpruned is the branch-and-bound contract:
+// pruning may skip states but must not change the optimum or the
+// reconstructed schedule, bit for bit.
+func TestPrunedGapsMatchesUnpruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sawPrune := false
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(9)
+		p := 1 + rng.Intn(3)
+		in := workload.FeasibleOneInterval(rng, n, p, 4+rng.Intn(26), 1+rng.Intn(5))
+		pruned, err1 := SolveGaps(in)
+		plain, err2 := SolveGapsOpt(in, Options{NoPrune: true})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("feasibility disagreement: %v vs %v (jobs %v procs %d)", err1, err2, in.Jobs, in.Procs)
+		}
+		if err1 != nil {
+			continue
+		}
+		if pruned.Spans != plain.Spans || pruned.Gaps != plain.Gaps {
+			t.Fatalf("pruned spans %d != unpruned %d (jobs %v procs %d)", pruned.Spans, plain.Spans, in.Jobs, in.Procs)
+		}
+		if !reflect.DeepEqual(pruned.Schedule, plain.Schedule) {
+			t.Fatalf("pruned schedule differs (jobs %v procs %d):\n%v\nvs\n%v", in.Jobs, in.Procs, pruned.Schedule, plain.Schedule)
+		}
+		if plain.PrunedStates != 0 {
+			t.Fatalf("NoPrune run reported %d pruned states", plain.PrunedStates)
+		}
+		if pruned.PrunedStates > 0 {
+			sawPrune = true
+		}
+	}
+	if !sawPrune {
+		t.Fatal("no trial pruned anything; bound or budget wiring is dead")
+	}
+}
+
+// TestPrunedPowerMatchesUnpruned is the same contract for the power DP,
+// across a spread of transition costs.
+func TestPrunedPowerMatchesUnpruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	sawPrune := false
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		p := 1 + rng.Intn(2)
+		alpha := float64(rng.Intn(9)) / 2
+		in := workload.FeasibleOneInterval(rng, n, p, 4+rng.Intn(24), 1+rng.Intn(5))
+		pruned, err1 := SolvePower(in, alpha)
+		plain, err2 := SolvePowerOpt(in, alpha, Options{NoPrune: true})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("feasibility disagreement: %v vs %v (jobs %v procs %d α=%v)", err1, err2, in.Jobs, in.Procs, alpha)
+		}
+		if err1 != nil {
+			continue
+		}
+		if pruned.Power != plain.Power {
+			t.Fatalf("pruned power %v != unpruned %v (jobs %v procs %d α=%v)", pruned.Power, plain.Power, in.Jobs, in.Procs, alpha)
+		}
+		if !reflect.DeepEqual(pruned.Schedule, plain.Schedule) {
+			t.Fatalf("pruned schedule differs (jobs %v procs %d α=%v):\n%v\nvs\n%v", in.Jobs, in.Procs, alpha, pruned.Schedule, plain.Schedule)
+		}
+		if plain.PrunedStates != 0 {
+			t.Fatalf("NoPrune run reported %d pruned states", plain.PrunedStates)
+		}
+		if pruned.PrunedStates > 0 {
+			sawPrune = true
+		}
+	}
+	if !sawPrune {
+		t.Fatal("no trial pruned anything; bound or budget wiring is dead")
+	}
+}
+
+// TestPruningShrinksDenseSolve pins the point of the exercise: on a
+// dense single-fragment instance the bounded run must expand strictly
+// fewer states than the unbounded one (wall-clock speedups are measured
+// by E21; state counts are the deterministic proxy).
+func TestPruningShrinksDenseSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense instance")
+	}
+	rng := rand.New(rand.NewSource(63))
+	in := workload.StressDense(rng, 120, 2)
+	start := time.Now()
+	pruned, err := SolveGaps(in)
+	prunedDur := time.Since(start)
+	if err != nil {
+		t.Fatalf("SolveGaps: %v", err)
+	}
+	start = time.Now()
+	plain, err := SolveGapsOpt(in, Options{NoPrune: true})
+	plainDur := time.Since(start)
+	if err != nil {
+		t.Fatalf("SolveGapsOpt: %v", err)
+	}
+	if pruned.Spans != plain.Spans {
+		t.Fatalf("pruned spans %d != unpruned %d", pruned.Spans, plain.Spans)
+	}
+	if pruned.ExpandedStates >= plain.ExpandedStates {
+		t.Fatalf("pruning expanded %d states, unpruned %d — no reduction",
+			pruned.ExpandedStates, plain.ExpandedStates)
+	}
+	t.Logf("dense n=120: expanded %d vs %d unpruned (pruned %d cuts), %v vs %v",
+		pruned.ExpandedStates, plain.ExpandedStates, pruned.PrunedStates, prunedDur, plainDur)
+}

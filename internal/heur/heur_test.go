@@ -1,4 +1,4 @@
-package heur
+package heur_test
 
 import (
 	"errors"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/feas"
+	"repro/internal/heur"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -23,13 +24,13 @@ func TestGreedyMatchesFeasibilityOracle(t *testing.T) {
 		p := 1 + rng.Intn(3)
 		in := workload.Multiproc(rng, n, p, 4+rng.Intn(24), 1+rng.Intn(5))
 		want := feas.FeasibleOneInterval(in)
-		s, err := Greedy(in)
+		s, err := heur.Greedy(in)
 		if want != (err == nil) {
 			t.Fatalf("greedy feasibility %v, Hall %v (jobs %v procs %d)", err == nil, want, in.Jobs, in.Procs)
 		}
 		if err != nil {
-			if !errors.Is(err, ErrInfeasible) {
-				t.Fatalf("greedy failed with %v, want ErrInfeasible", err)
+			if !errors.Is(err, heur.ErrInfeasible) {
+				t.Fatalf("greedy failed with %v, want heur.ErrInfeasible", err)
 			}
 			continue
 		}
@@ -50,7 +51,7 @@ func TestSolveSandwich(t *testing.T) {
 		in := workload.FeasibleOneInterval(rng, n, p, 4+rng.Intn(30), 1+rng.Intn(5))
 		alpha := float64(rng.Intn(9)) / 2
 
-		gr, err := SolveGaps(in)
+		gr, err := heur.SolveGaps(in)
 		if err != nil {
 			t.Fatalf("SolveGaps: %v (jobs %v)", err, in.Jobs)
 		}
@@ -66,7 +67,7 @@ func TestSolveSandwich(t *testing.T) {
 			t.Fatalf("span accounting inconsistent: %d vs %v", gr.Spans, gr.Cost)
 		}
 
-		pr, err := SolvePower(in, alpha)
+		pr, err := heur.SolvePower(in, alpha)
 		if err != nil {
 			t.Fatalf("SolvePower: %v (jobs %v)", err, in.Jobs)
 		}
@@ -101,7 +102,7 @@ func TestGreedyIsOptimalOnEasyShapes(t *testing.T) {
 		{"single job", sched.NewInstance([]sched.Job{{Release: 7, Deadline: 9}}), 1},
 	}
 	for _, c := range cases {
-		res, err := SolveGaps(c.in)
+		res, err := heur.SolveGaps(c.in)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -123,12 +124,12 @@ func TestLowerBoundsAgainstOracle(t *testing.T) {
 		in := workload.FeasibleOneInterval(rng, n, 1+rng.Intn(2), 3+rng.Intn(14), 1+rng.Intn(4))
 		alpha := float64(rng.Intn(7)) / 2
 		if spans, ok := exact.SpansOneInterval(in); ok {
-			if lb := SpanLowerBound(in); lb > spans {
+			if lb := heur.SpanLowerBound(in); lb > spans {
 				t.Fatalf("span LB %d > oracle optimum %d (jobs %v procs %d)", lb, spans, in.Jobs, in.Procs)
 			}
 		}
 		if power, ok := exact.PowerOneInterval(in, alpha); ok {
-			if lb := PowerLowerBound(in, alpha); lb > power+1e-9 {
+			if lb := heur.PowerLowerBound(in, alpha); lb > power+1e-9 {
 				t.Fatalf("power LB %v > oracle optimum %v (jobs %v procs %d alpha %v)", lb, power, in.Jobs, in.Procs, alpha)
 			}
 		}
@@ -142,14 +143,14 @@ func TestLowerBoundShapes(t *testing.T) {
 	scattered := sched.NewInstance([]sched.Job{
 		{Release: 0, Deadline: 0}, {Release: 50, Deadline: 50}, {Release: 100, Deadline: 100},
 	})
-	if lb := SpanLowerBound(scattered); lb != 3 {
+	if lb := heur.SpanLowerBound(scattered); lb != 3 {
 		t.Errorf("scattered span LB %d, want 3", lb)
 	}
-	if lb := PowerLowerBound(scattered, 2); lb != 3+3*2 {
+	if lb := heur.PowerLowerBound(scattered, 2); lb != 3+3*2 {
 		t.Errorf("scattered power LB %v, want 9", lb)
 	}
 	// A huge alpha bridges everything: one power fragment, one wake.
-	if lb := PowerLowerBound(scattered, 1000); lb != 3+1000 {
+	if lb := heur.PowerLowerBound(scattered, 1000); lb != 3+1000 {
 		t.Errorf("bridged power LB %v, want 1003", lb)
 	}
 	// Density: 6 jobs crammed into a width-2 window force level 3, so
@@ -158,14 +159,14 @@ func TestLowerBoundShapes(t *testing.T) {
 		{Release: 0, Deadline: 1}, {Release: 0, Deadline: 1}, {Release: 0, Deadline: 1},
 		{Release: 0, Deadline: 1}, {Release: 0, Deadline: 1}, {Release: 0, Deadline: 1},
 	}, 3)
-	if lb := SpanLowerBound(dense); lb != 3 {
+	if lb := heur.SpanLowerBound(dense); lb != 3 {
 		t.Errorf("dense span LB %d, want 3", lb)
 	}
 	// Empty instance: nothing to pay for.
-	if lb := SpanLowerBound(sched.Instance{Procs: 1}); lb != 0 {
+	if lb := heur.SpanLowerBound(sched.Instance{Procs: 1}); lb != 0 {
 		t.Errorf("empty span LB %d, want 0", lb)
 	}
-	if lb := PowerLowerBound(sched.Instance{Procs: 1}, 2); lb != 0 {
+	if lb := heur.PowerLowerBound(sched.Instance{Procs: 1}, 2); lb != 0 {
 		t.Errorf("empty power LB %v, want 0", lb)
 	}
 }
@@ -179,7 +180,7 @@ func TestGreedyLargeInstance(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(23))
 	in := workload.StressBursty(rng, 100_000, 4)
-	res, err := SolveGaps(in)
+	res, err := heur.SolveGaps(in)
 	if err != nil {
 		t.Fatalf("SolveGaps: %v", err)
 	}
@@ -189,7 +190,7 @@ func TestGreedyLargeInstance(t *testing.T) {
 	if res.LowerBound < 1 || res.Cost < res.LowerBound {
 		t.Fatalf("degenerate certificate: cost %v lb %v", res.Cost, res.LowerBound)
 	}
-	pres, err := SolvePower(in, 4)
+	pres, err := heur.SolvePower(in, 4)
 	if err != nil {
 		t.Fatalf("SolvePower: %v", err)
 	}
@@ -209,7 +210,7 @@ func TestGreedyLargeAbsoluteTimes(t *testing.T) {
 		{Release: base, Deadline: base},
 		{Release: base + 1000, Deadline: base + 1002},
 	}, 2)
-	s, err := Greedy(in)
+	s, err := heur.Greedy(in)
 	if err != nil {
 		t.Fatalf("greedy on large absolute times: %v", err)
 	}
@@ -218,7 +219,7 @@ func TestGreedyLargeAbsoluteTimes(t *testing.T) {
 	}
 	// Two simultaneous jobs occupy two processors (2 per-processor
 	// spans) and the far cluster adds one more: 3 spans, certified.
-	res, err := SolveGaps(in)
+	res, err := heur.SolveGaps(in)
 	if err != nil || res.Spans != 3 || res.LowerBound != 3 {
 		t.Fatalf("large-time solve: spans %d lb %v err %v", res.Spans, res.LowerBound, err)
 	}
@@ -226,7 +227,7 @@ func TestGreedyLargeAbsoluteTimes(t *testing.T) {
 	// int range still schedules (saturated wake bound, conservative
 	// wake).
 	wide := sched.NewInstance([]sched.Job{{Release: 0, Deadline: math.MaxInt - 4}})
-	if _, err := Greedy(wide); err != nil {
+	if _, err := heur.Greedy(wide); err != nil {
 		t.Fatalf("greedy on a near-MaxInt window: %v", err)
 	}
 	// Saturated regime with a late arrival: the zero-based horizon
@@ -238,7 +239,7 @@ func TestGreedyLargeAbsoluteTimes(t *testing.T) {
 		{Release: 0, Deadline: 0},
 		{Release: math.MaxInt - 10, Deadline: math.MaxInt - 5},
 	}, 2)
-	s, err = Greedy(sat)
+	s, err = heur.Greedy(sat)
 	if err != nil {
 		t.Fatalf("greedy on a saturated horizon: %v", err)
 	}
@@ -253,32 +254,32 @@ func TestGreedyLargeAbsoluteTimes(t *testing.T) {
 		{Release: math.MaxInt - 7, Deadline: math.MaxInt - 7},
 		{Release: math.MaxInt - 7, Deadline: math.MaxInt - 7},
 	}, 2)
-	if _, err := Greedy(satBad); !errors.Is(err, ErrInfeasible) {
-		t.Fatalf("saturated infeasible instance: got %v, want ErrInfeasible", err)
+	if _, err := heur.Greedy(satBad); !errors.Is(err, heur.ErrInfeasible) {
+		t.Fatalf("saturated infeasible instance: got %v, want heur.ErrInfeasible", err)
 	}
 }
 
 // TestGreedyEmptyAndDegenerate covers the trivial shapes.
 func TestGreedyEmptyAndDegenerate(t *testing.T) {
-	s, err := Greedy(sched.Instance{Procs: 2})
+	s, err := heur.Greedy(sched.Instance{Procs: 2})
 	if err != nil || len(s.Slots) != 0 {
 		t.Fatalf("empty instance: %v %v", s, err)
 	}
-	if _, err := Greedy(sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 0}}, Procs: 0}); err == nil {
+	if _, err := heur.Greedy(sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 0}}, Procs: 0}); err == nil {
 		t.Fatal("0-processor instance must be rejected")
 	}
-	if _, err := SolvePower(sched.Instance{Procs: 1}, -1); err == nil {
+	if _, err := heur.SolvePower(sched.Instance{Procs: 1}, -1); err == nil {
 		t.Fatal("negative alpha must be rejected")
 	}
 	// Two same-slot jobs on one processor: infeasible.
 	clash := sched.NewInstance([]sched.Job{{Release: 3, Deadline: 3}, {Release: 3, Deadline: 3}})
-	if _, err := Greedy(clash); !errors.Is(err, ErrInfeasible) {
-		t.Fatalf("clash: got %v, want ErrInfeasible", err)
+	if _, err := heur.Greedy(clash); !errors.Is(err, heur.ErrInfeasible) {
+		t.Fatalf("clash: got %v, want heur.ErrInfeasible", err)
 	}
-	if _, err := SolveGaps(clash); !errors.Is(err, ErrInfeasible) {
-		t.Fatal("SolveGaps must surface ErrInfeasible")
+	if _, err := heur.SolveGaps(clash); !errors.Is(err, heur.ErrInfeasible) {
+		t.Fatal("SolveGaps must surface heur.ErrInfeasible")
 	}
-	if _, err := SolvePower(clash, 1); !errors.Is(err, ErrInfeasible) {
-		t.Fatal("SolvePower must surface ErrInfeasible")
+	if _, err := heur.SolvePower(clash, 1); !errors.Is(err, heur.ErrInfeasible) {
+		t.Fatal("SolvePower must surface heur.ErrInfeasible")
 	}
 }

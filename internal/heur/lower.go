@@ -80,6 +80,58 @@ func FragmentPowerLB(in sched.Instance, alpha float64) float64 {
 	return float64(len(in.Jobs)) + alpha*float64(max(1, densityLB(in)))
 }
 
+// SubSpanLB restricts the span bound to one DP subproblem of the exact
+// engine: k own unit jobs inside [t1, t2] with own boundary levels l1
+// (at t1) and l2 (at t2) and c2 context jobs stacked at t2. It is
+// admissible for the engine's node cost Σ_{u∈(t1,t2]} (h_u − h_{u−1})_+
+// — the span starts charged to the node — because the profile ends at
+// height l2+c2 and must peak at ⌈k/width⌉ somewhere in the window (k
+// unit jobs over width = t2−t1+1 times), so the positive increments
+// after t1 sum to at least the larger target minus the starting level
+// l1. A point interval charges nothing to (t1, t2].
+func SubSpanLB(k, l1, l2, c2, t1, t2 int) int {
+	if t2 <= t1 {
+		return 0
+	}
+	need := l2 + c2
+	if k > 0 {
+		width := t2 - t1 + 1
+		if m := (k + width - 1) / width; m > need {
+			need = m
+		}
+	}
+	if need <= l1 {
+		return 0
+	}
+	return need - l1
+}
+
+// SubPowerLB is SubSpanLB's analogue for the power engine, whose node
+// cost is Σ_{u∈(t1,t2]} A_u + α·(A_u − A_{u−1})_+ over active profiles
+// with A_{t1} = l1 and A_{t2} = l2 (context executes inside l2). Active
+// units: t2 itself pays l2, and the own jobs that fit at neither
+// boundary — at most l1 execute at t1 (outside this node's sum) and at
+// most l2 at t2 — each pay one interior unit. Transitions: the profile
+// must rise from l1 to max(l2, ⌈k/width⌉) at α per step.
+func SubPowerLB(k, l1, l2, c2, t1, t2 int, alpha float64) float64 {
+	if t2 <= t1 {
+		return 0
+	}
+	lb := float64(l2)
+	if interior := k - l1 - l2; interior > 0 {
+		lb += float64(interior)
+	}
+	peak := l2
+	width := t2 - t1 + 1
+	if m := (k + width - 1) / width; m > peak {
+		peak = m
+	}
+	if peak > l1 {
+		lb += alpha * float64(peak-l1)
+	}
+	return lb
+}
+
 // densityLB computes max over job windows [r_j, d_j] of
 // ⌈|{i : r_i ≥ r_j, d_i ≤ d_j}| / (d_j − r_j + 1)⌉ — the largest
 // profile level any schedule of the instance must reach, per the

@@ -1,4 +1,4 @@
-package prep
+package prep_test
 
 import (
 	"math"
@@ -6,13 +6,14 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/prep"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
 // solveSplit decomposes, solves every fragment with the given solver,
 // and reassembles, returning the summed cost and assembled schedule.
-func solveSplit(t *testing.T, pl *Plan, solve func(sched.Instance) (float64, sched.Schedule, error)) (float64, sched.Schedule) {
+func solveSplit(t *testing.T, pl *prep.Plan, solve func(sched.Instance) (float64, sched.Schedule, error)) (float64, sched.Schedule) {
 	t.Helper()
 	total := 0.0
 	parts := make([]sched.Schedule, len(pl.Subs))
@@ -38,7 +39,7 @@ func TestDecomposeStructure(t *testing.T) {
 		{Release: 101, Deadline: 105},
 		{Release: 3, Deadline: 4},
 	})
-	pl := ForGaps(in)
+	pl := prep.ForGaps(in)
 	if len(pl.Subs) != 3 {
 		t.Fatalf("got %d fragments, want 3: %+v", len(pl.Subs), pl.Subs)
 	}
@@ -78,26 +79,26 @@ func TestPowerSplitRespectsAlpha(t *testing.T) {
 	in := sched.NewInstance([]sched.Job{
 		{Release: 0, Deadline: 1}, {Release: 6, Deadline: 7},
 	})
-	if pl := ForPower(in, 4); len(pl.Subs) != 2 {
+	if pl := prep.ForPower(in, 4); len(pl.Subs) != 2 {
 		t.Fatalf("α=4 ≤ idle width 4: want split, got %d fragments", len(pl.Subs))
 	}
-	if pl := ForPower(in, 4.5); len(pl.Subs) != 1 {
+	if pl := prep.ForPower(in, 4.5); len(pl.Subs) != 1 {
 		t.Fatalf("α=4.5 > idle width 4: want no split, got fragments")
 	}
-	if pl := ForPower(in, 0); len(pl.Subs) != 2 {
+	if pl := prep.ForPower(in, 0); len(pl.Subs) != 2 {
 		t.Fatalf("α=0: every idle run splits, got %d fragments", len(pl.Subs))
 	}
 }
 
 func TestDecomposeEmptyAndSingle(t *testing.T) {
-	if pl := ForGaps(sched.NewInstance(nil)); len(pl.Subs) != 0 {
+	if pl := prep.ForGaps(sched.NewInstance(nil)); len(pl.Subs) != 0 {
 		t.Fatalf("empty instance produced fragments")
 	}
-	s, err := ForGaps(sched.NewInstance(nil)).Assemble(nil)
+	s, err := prep.ForGaps(sched.NewInstance(nil)).Assemble(nil)
 	if err != nil || len(s.Slots) != 0 {
 		t.Fatalf("empty assemble: %v %v", s, err)
 	}
-	pl := ForGaps(sched.NewInstance([]sched.Job{{Release: 7, Deadline: 9}}))
+	pl := prep.ForGaps(sched.NewInstance([]sched.Job{{Release: 7, Deadline: 9}}))
 	if len(pl.Subs) != 1 || pl.Subs[0].Offset != 7 {
 		t.Fatalf("single job plan wrong: %+v", pl.Subs)
 	}
@@ -123,7 +124,7 @@ func TestSplitGapsMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: direct solve: %v", trial, err)
 		}
-		pl := ForGaps(in)
+		pl := prep.ForGaps(in)
 		total, s := solveSplit(t, pl, func(sub sched.Instance) (float64, sched.Schedule, error) {
 			res, err := core.SolveGaps(sub)
 			return float64(res.Spans), res.Schedule, err
@@ -152,7 +153,7 @@ func TestSplitPowerMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: direct solve: %v", trial, err)
 		}
-		pl := ForPower(in, alpha)
+		pl := prep.ForPower(in, alpha)
 		total, s := solveSplit(t, pl, func(sub sched.Instance) (float64, sched.Schedule, error) {
 			res, err := core.SolvePower(sub, alpha)
 			return res.Power, res.Schedule, err
@@ -170,7 +171,7 @@ func TestSplitPowerMatchesDirect(t *testing.T) {
 }
 
 func TestAssembleRejectsShapeMismatch(t *testing.T) {
-	pl := ForGaps(sched.NewInstance([]sched.Job{{Release: 0, Deadline: 1}}))
+	pl := prep.ForGaps(sched.NewInstance([]sched.Job{{Release: 0, Deadline: 1}}))
 	if _, err := pl.Assemble(nil); err == nil {
 		t.Fatal("wrong part count accepted")
 	}
