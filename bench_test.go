@@ -15,6 +15,7 @@ package gapsched
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/arith"
@@ -502,7 +503,11 @@ func BenchmarkE20_HeuristicTier(b *testing.B) {
 				jobs = append(jobs, sched.Job{Release: r, Deadline: r + 2 + rng.Intn(4)})
 			}
 		}
-		for _, j := range workload.StressDense(rng, 400, 1).Jobs {
+		// The big fragment must stay above the pruning-discounted default
+		// budget so the mix is genuinely mixed; n=400 dense is admitted
+		// to the exact tier nowadays (BenchmarkE21_BoundedExact covers
+		// that class), so the wall here is n=800.
+		for _, j := range workload.StressDense(rng, 800, 1).Jobs {
 			jobs = append(jobs, sched.Job{Release: j.Release + 2400, Deadline: j.Deadline + 2400})
 		}
 		in := NewInstance(jobs)
@@ -529,6 +534,59 @@ func BenchmarkE20_HeuristicTier(b *testing.B) {
 			states += sol.States
 		}
 		b.ReportMetric(float64(states)/float64(b.N), "states/op")
+	})
+}
+
+// BenchmarkE21_BoundedExact: the branch-and-bound exact tier on the
+// E20 exact-wall dense class. The bounded lanes are the production
+// default (greedy incumbent + admissible node bounds); the unpruned
+// lanes ablate pruning via Options.NoPrune and must report the same
+// cost. The auto-admitted lane is the workload the pruning-aware
+// admission discount newly sends to the exact tier under the default
+// StateBudget — it asserts the certificate (zero heuristic fragments)
+// so a regression in admission fails loudly rather than silently
+// benching the heuristic.
+func BenchmarkE21_BoundedExact(b *testing.B) {
+	for _, n := range []int{400, 800} {
+		rng := rand.New(rand.NewSource(21))
+		in := workload.StressDense(rng, n, 2)
+		name := "dense/n=" + strconv.Itoa(n)
+		b.Run("bounded/"+name, func(b *testing.B) {
+			expanded := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.SolveGapsOpt(in, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				expanded += res.ExpandedStates
+			}
+			b.ReportMetric(float64(expanded)/float64(b.N), "expanded/op")
+		})
+		b.Run("unpruned/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SolveGapsOpt(in, core.Options{NoPrune: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.PrunedStates != 0 {
+					b.Fatal("NoPrune solve reported pruned states")
+				}
+			}
+		})
+	}
+	b.Run("auto-admitted/dense/n=400", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(21))
+		in := NewInstance(workload.StressDense(rng, 400, 1).Jobs)
+		auto := Solver{Mode: ModeAuto}
+		for i := 0; i < b.N; i++ {
+			sol, err := auto.Solve(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.HeuristicFragments != 0 {
+				b.Fatal("discounted admission no longer keeps n=400 dense exact")
+			}
+		}
 	})
 }
 

@@ -1,21 +1,33 @@
 // Command benchcmp is the CI bench-regression gate: a benchstat-style
 // comparison of `go test -bench` output against a committed baseline
-// (BENCH_BASELINE.json at the repository root). It is deliberately
+// (BENCH_BASELINE.json at the repository root). By default it is
 // warn-only — one-shot (-benchtime=1x) timings on shared CI runners
 // are noisy, so regressions surface as GitHub warning annotations
 // instead of failures; treating them as signals, not verdicts, keeps
 // the job honest without flaking the build.
 //
+// -fail-families promotes selected benchmark families to a hard gate:
+// a comma-separated list of name prefixes (matched against the part
+// after "Benchmark", so "E16_" covers BenchmarkE16_BatchSolve and its
+// sub-benchmarks). A family benchmark regressing beyond
+// -fail-threshold percent fails the run with exit status 3 and a
+// GitHub error annotation; everything else stays warn-only. The fail
+// threshold is deliberately looser than the warn threshold — only the
+// headline solver-path families are gated, and only on regressions big
+// enough to stand out of one-shot noise.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchtime=1x -count=3 . | benchcmp -baseline BENCH_BASELINE.json
 //	go test -run='^$' -bench=. -benchtime=1x -count=3 . | benchcmp -baseline BENCH_BASELINE.json -update
+//	... | benchcmp -baseline BENCH_BASELINE.json -fail-families 'E1_,E16_,E17_,E19_,E20_,E21_'
 //
 // Multiple -count runs of one benchmark are folded to their minimum
 // ns/op (the least-noise estimator for one-shot runs); the trailing
 // -N GOMAXPROCS suffix is stripped so baselines compare across
 // machines. Exit status: 0 on success (warnings included), 1 on I/O or
-// parse failures, 2 on command-line errors.
+// parse failures, 2 on command-line errors, 3 when a gated family
+// regressed beyond -fail-threshold.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/cli"
 )
@@ -86,11 +99,24 @@ func sortedNames(m map[string]float64) []string {
 	return names
 }
 
-// compare prints a benchstat-style report and GitHub warning
-// annotations for regressions beyond threshold percent. It returns the
-// number of regressions (informational; the caller stays warn-only).
-func compare(baseline, current map[string]float64, threshold float64, stdout io.Writer) int {
-	regressions := 0
+// inFamilies reports whether a normalized benchmark name belongs to
+// one of the gated families (prefixes matched after "Benchmark").
+func inFamilies(name string, families []string) bool {
+	tail := strings.TrimPrefix(name, "Benchmark")
+	for _, f := range families {
+		if strings.HasPrefix(tail, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// compare prints a benchstat-style report: warning annotations for
+// regressions beyond warnThreshold percent, error annotations for
+// gated-family regressions beyond failThreshold percent. It returns
+// the number of gated failures (the caller turns any into a non-zero
+// exit) and, separately, the warn-only regression count.
+func compare(baseline, current map[string]float64, warnThreshold, failThreshold float64, families []string, stdout io.Writer) (failures, regressions int) {
 	fmt.Fprintf(stdout, "%-55s %12s %12s %8s\n", "benchmark", "baseline", "current", "delta")
 	for _, name := range sortedNames(current) {
 		cur := current[name]
@@ -101,7 +127,13 @@ func compare(baseline, current map[string]float64, threshold float64, stdout io.
 		}
 		delta := 100 * (cur - base) / base
 		mark := ""
-		if delta > threshold {
+		switch {
+		case delta > failThreshold && inFamilies(name, families):
+			mark = "  ← FAIL"
+			failures++
+			fmt.Fprintf(stdout, "::error title=bench regression::%s is %.0f%% slower than BENCH_BASELINE.json (%.0f → %.0f ns/op; gated family)\n",
+				name, delta, base, cur)
+		case delta > warnThreshold:
 			mark = "  ← regression"
 			regressions++
 			fmt.Fprintf(stdout, "::warning title=bench regression::%s is %.0f%% slower than BENCH_BASELINE.json (%.0f → %.0f ns/op)\n",
@@ -116,9 +148,12 @@ func compare(baseline, current map[string]float64, threshold float64, stdout io.
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed more than %.0f%% (warn-only; see annotations)\n", regressions, threshold)
+		fmt.Fprintf(stdout, "\n%d benchmark(s) regressed more than %.0f%% (warn-only; see annotations)\n", regressions, warnThreshold)
 	}
-	return regressions
+	if failures > 0 {
+		fmt.Fprintf(stdout, "\n%d gated benchmark(s) regressed more than %.0f%%\n", failures, failThreshold)
+	}
+	return failures, regressions
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -128,6 +163,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		baselinePath = fs.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
 		input        = fs.String("input", "-", "bench output to read (- for stdin)")
 		threshold    = fs.Float64("threshold", 20, "warn when ns/op grows more than this percent")
+		failFams     = fs.String("fail-families", "", "comma-separated benchmark family prefixes (matched after \"Benchmark\") whose regressions fail the run")
+		failThresh   = fs.Float64("fail-threshold", 30, "fail when a gated family's ns/op grows more than this percent")
 		update       = fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
 		note         = fs.String("note", "go test -run='^$' -bench=. -benchtime=1x -count=3 . (min of 3)", "provenance note stored with -update")
 	)
@@ -175,7 +212,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchcmp: parsing %s: %v\n", *baselinePath, err)
 		return 1
 	}
-	compare(base.Benchmarks, current, *threshold, stdout)
+	var families []string
+	for _, f := range strings.Split(*failFams, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			families = append(families, f)
+		}
+	}
+	failures, _ := compare(base.Benchmarks, current, *threshold, *failThresh, families, stdout)
+	if failures > 0 {
+		return 3
+	}
 	return 0
 }
 

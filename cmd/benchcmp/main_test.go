@@ -52,8 +52,8 @@ func TestCompareFlagsRegressionsNewAndMissing(t *testing.T) {
 		"BenchmarkNew":    42,
 	}
 	var out bytes.Buffer
-	if n := compare(baseline, current, 20, &out); n != 1 {
-		t.Fatalf("compare found %d regressions, want 1:\n%s", n, out.String())
+	if fails, n := compare(baseline, current, 20, 30, nil, &out); n != 1 || fails != 0 {
+		t.Fatalf("compare found %d regressions / %d failures, want 1 / 0:\n%s", n, fails, out.String())
 	}
 	text := out.String()
 	for _, want := range []string{
@@ -101,8 +101,8 @@ func TestCompareNewBenchmarksNeverWarn(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out bytes.Buffer
-		if n := compare(baseline, c.current, 20, &out); n != 0 {
-			t.Errorf("%s: %d regressions from new benchmarks:\n%s", c.name, n, out.String())
+		if fails, n := compare(baseline, c.current, 20, 30, []string{"New", "E19_"}, &out); n != 0 || fails != 0 {
+			t.Errorf("%s: %d regressions / %d failures from new benchmarks:\n%s", c.name, n, fails, out.String())
 		}
 		text := out.String()
 		if strings.Contains(text, "::warning title=bench regression::") {
@@ -155,6 +155,64 @@ func TestRunUpdateThenCompare(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "::warning title=bench regression::") {
 		t.Fatalf("regression not flagged:\n%s", stdout.String())
+	}
+}
+
+// Gated families: a regression beyond -fail-threshold in a family
+// named by -fail-families exits 3 with an error annotation; the same
+// regression outside the gated families stays warn-only.
+func TestCompareGatedFamiliesFail(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkE16_BatchSolve/gaps":  1000,
+		"BenchmarkE10_Greedy3Approx":    1000,
+		"BenchmarkE1_MultiprocExact/dp": 1000,
+	}
+	current := map[string]float64{
+		"BenchmarkE16_BatchSolve/gaps":  1500, // +50%: gated → fail
+		"BenchmarkE10_Greedy3Approx":    1500, // +50%: ungated → warn
+		"BenchmarkE1_MultiprocExact/dp": 1250, // +25%: gated but under fail threshold → warn
+	}
+	var out bytes.Buffer
+	fails, warns := compare(baseline, current, 20, 30, []string{"E1_", "E16_"}, &out)
+	if fails != 1 || warns != 2 {
+		t.Fatalf("compare found %d failures / %d warnings, want 1 / 2:\n%s", fails, warns, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "::error title=bench regression::BenchmarkE16_BatchSolve/gaps") {
+		t.Errorf("gated regression not errored:\n%s", text)
+	}
+	if !strings.Contains(text, "::warning title=bench regression::BenchmarkE10_Greedy3Approx") {
+		t.Errorf("ungated regression not warned:\n%s", text)
+	}
+	if !strings.Contains(text, "::warning title=bench regression::BenchmarkE1_MultiprocExact/dp") {
+		t.Errorf("under-fail-threshold gated regression not warned:\n%s", text)
+	}
+	// E1_ must not gate E16's cousins by prefix confusion: E10 is not
+	// in the E1_ family.
+	if strings.Contains(text, "::error title=bench regression::BenchmarkE10") {
+		t.Errorf("family prefix matched the wrong benchmark:\n%s", text)
+	}
+}
+
+func TestRunFailFamiliesExitCode(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "BENCH_BASELINE.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
+		t.Fatalf("update exited %d: %s", code, stderr.String())
+	}
+	slower := strings.ReplaceAll(sampleBench, "1000000 ns/op", "9999999 ns/op")
+	stdout.Reset()
+	code := run([]string{"-baseline", baseline, "-fail-families", "E16_"},
+		strings.NewReader(slower), &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("gated regression exited %d, want 3:\n%s", code, stdout.String())
+	}
+	// Same regression with no gated families: warn-only, exit 0.
+	stdout.Reset()
+	if code := run([]string{"-baseline", baseline},
+		strings.NewReader(slower), &stdout, &stderr); code != 0 {
+		t.Fatalf("ungated regression exited %d, want 0:\n%s", code, stdout.String())
 	}
 }
 

@@ -25,6 +25,10 @@
 // incrementally: a delta re-solves only the schedule fragments it
 // touched. Idle sessions expire after -session-ttl.
 //
+// -pprof serves net/http/pprof on a separate (ideally loopback-only)
+// listener, e.g. -pprof 127.0.0.1:6060; the solve listener never
+// exposes /debug/pprof.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops, open coalescing windows are flushed so buffered clients still
 // get answers, and in-flight solves complete.
@@ -38,6 +42,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,10 +54,11 @@ import (
 
 // options is the parsed command line.
 type options struct {
-	addr    string
-	cfg     service.Config
-	grace   time.Duration
-	verbose bool
+	addr      string
+	pprofAddr string
+	cfg       service.Config
+	grace     time.Duration
+	verbose   bool
 }
 
 // parseArgs parses the command line with the shared CLI conventions
@@ -64,6 +70,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.SetOutput(stderr)
 	var o options
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty disables; keep it loopback-only)")
 	fs.DurationVar(&o.cfg.Window, "window", 2*time.Millisecond, "coalescing window (0 disables coalescing)")
 	fs.IntVar(&o.cfg.MaxBatch, "max-batch", service.DefaultMaxBatch, "dispatch a window early at this many requests")
 	fs.IntVar(&o.cfg.CacheCapacity, "cache", service.DefaultCacheCapacity, "fragment cache capacity (negative disables)")
@@ -90,19 +97,51 @@ func main() {
 	if err != nil {
 		log.Fatalf("gapschedd: %v", err)
 	}
-	if err := serve(ctx, ln, o); err != nil {
+	var pprofLn net.Listener
+	if o.pprofAddr != "" {
+		if pprofLn, err = net.Listen("tcp", o.pprofAddr); err != nil {
+			log.Fatalf("gapschedd: pprof listener: %v", err)
+		}
+	}
+	if err := serve(ctx, ln, pprofLn, o); err != nil {
 		log.Fatalf("gapschedd: %v", err)
 	}
 }
 
+// pprofHandler is the profiling mux served on the -pprof listener. The
+// handlers are mounted on a dedicated mux (not http.DefaultServeMux)
+// so the solve endpoints never gain /debug/pprof/* routes: profiling
+// stays on its own, typically loopback-only, address.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // serve runs the daemon on ln until ctx is canceled, then shuts down
 // gracefully: the listener drains within the grace budget and the
-// service flushes its open coalescing windows.
-func serve(ctx context.Context, ln net.Listener, o options) error {
+// service flushes its open coalescing windows. A non-nil pprofLn gets
+// the profiling mux; it is torn down with the daemon (profiling
+// requests are diagnostics, not client traffic, so no grace is owed).
+func serve(ctx context.Context, ln, pprofLn net.Listener, o options) error {
 	srv := service.New(o.cfg)
 	httpSrv := &http.Server{Handler: srv}
 	log.Printf("gapschedd: listening on %s (window %v, max batch %d, cache %d)",
 		ln.Addr(), o.cfg.Window, o.cfg.MaxBatch, o.cfg.CacheCapacity)
+	if pprofLn != nil {
+		pprofSrv := &http.Server{Handler: pprofHandler()}
+		log.Printf("gapschedd: pprof listening on %s", pprofLn.Addr())
+		go func() {
+			if err := pprofSrv.Serve(pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("gapschedd: pprof listener: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -61,24 +61,13 @@ func TestServeSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, o) }()
+	go func() { done <- serve(ctx, ln, nil, o) }()
 
 	base := "http://" + ln.Addr().String()
-	var resp *http.Response
-	for deadline := time.Now().Add(5 * time.Second); ; {
-		resp, err = http.Get(base + "/healthz")
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never came up: %v", err)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	resp.Body.Close()
+	awaitHealthy(t, base)
 
 	body := `{"objective":"power","alpha":2,"jobs":[{"release":0,"deadline":2},{"release":6,"deadline":8}]}`
-	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,5 +84,80 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// awaitHealthy polls /healthz until the daemon answers.
+func awaitHealthy(t *testing.T, base string) {
+	t.Helper()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Profiling smoke test: with -pprof the debug endpoints serve on their
+// own listener only — the solve listener stays clean — and without it
+// no pprof surface exists anywhere.
+func TestServePprof(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseArgs([]string{"-window", "1ms", "-grace", "2s", "-pprof", "127.0.0.1:0"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, pprofLn, o) }()
+
+	base := "http://" + ln.Addr().String()
+	awaitHealthy(t, base)
+
+	resp, err := http.Get("http://" + pprofLn.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d, want 200", resp.StatusCode)
+	}
+
+	// The solve listener must not have grown the debug routes.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("solve listener serves /debug/pprof/ with status %d, want 404", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	// Disabled: the pprof listener is closed with the daemon, so the
+	// endpoint is gone.
+	if _, err := http.Get("http://" + pprofLn.Addr().String() + "/debug/pprof/"); err == nil {
+		t.Fatal("pprof endpoint still serving after shutdown")
 	}
 }

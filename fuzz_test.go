@@ -15,6 +15,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -302,6 +303,52 @@ func FuzzHeuristicQuality(f *testing.F) {
 				asHeur.HeuristicFragments != asHeur.Subinstances {
 				t.Fatalf("auto(-1) differs from heuristic: %v/%v vs %v/%v",
 					cost(asHeur), asHeur.LowerBound, cost(got), got.LowerBound)
+			}
+		}
+	})
+}
+
+// FuzzPrunedExact certifies the branch-and-bound layer at the engine
+// boundary on every decodable instance, both objectives: the bounded
+// solve (greedy incumbent + per-node lower bounds, the default) must
+// agree with the NoPrune ablation bit for bit — same feasibility
+// verdict, same optimal cost, byte-identical schedule — and the
+// NoPrune run must report zero pruned states, proving the disable
+// switch really disables every cut.
+func FuzzPrunedExact(f *testing.F) {
+	seedFuzzCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, alpha, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		pruned, err1 := core.SolveGaps(in)
+		plain, err2 := core.SolveGapsOpt(in, core.Options{NoPrune: true})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("gaps feasibility disagreement: %v vs %v (jobs %v procs %d)", err1, err2, in.Jobs, in.Procs)
+		}
+		if err1 == nil {
+			if pruned.Spans != plain.Spans || !reflect.DeepEqual(pruned.Schedule, plain.Schedule) {
+				t.Fatalf("pruned gaps solve differs: %d vs %d (jobs %v procs %d)",
+					pruned.Spans, plain.Spans, in.Jobs, in.Procs)
+			}
+			if plain.PrunedStates != 0 {
+				t.Fatalf("NoPrune gaps run reported %d pruned states", plain.PrunedStates)
+			}
+		}
+
+		pp, err1 := core.SolvePower(in, alpha)
+		pl, err2 := core.SolvePowerOpt(in, alpha, core.Options{NoPrune: true})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("power feasibility disagreement: %v vs %v (jobs %v procs %d α=%v)", err1, err2, in.Jobs, in.Procs, alpha)
+		}
+		if err1 == nil {
+			if pp.Power != pl.Power || !reflect.DeepEqual(pp.Schedule, pl.Schedule) {
+				t.Fatalf("pruned power solve differs: %v vs %v (jobs %v procs %d α=%v)",
+					pp.Power, pl.Power, in.Jobs, in.Procs, alpha)
+			}
+			if pl.PrunedStates != 0 {
+				t.Fatalf("NoPrune power run reported %d pruned states", pl.PrunedStates)
 			}
 		}
 	})

@@ -50,6 +50,8 @@ type Result struct {
 	Cost     float64
 	Schedule sched.Schedule
 	States   int
+	Pruned   int // branch-and-bound cuts in the fragment's exact solve
+	Expanded int // DP states the fragment's exact solve expanded
 	LB       float64
 	Heur     bool
 	Hit      bool
@@ -238,6 +240,11 @@ type Counts struct {
 	// States sums the DP states over all fragments (stored states for
 	// reused fragments), matching the batch facade's accounting.
 	States int
+	// PrunedStates and ExpandedStates sum the fragments'
+	// branch-and-bound counters under the same stored-result convention
+	// as States.
+	PrunedStates   int
+	ExpandedStates int
 	// LowerBound sums the per-fragment certified lower bounds in
 	// fragment time order, matching the one-shot facade's accounting.
 	LowerBound float64
@@ -274,6 +281,8 @@ func (t *Tracker) Resolve(solve func(sched.Instance) Result) (cost float64, s sc
 			c.Reused++
 		}
 		c.States += f.res.States
+		c.PrunedStates += f.res.Pruned
+		c.ExpandedStates += f.res.Expanded
 		c.LowerBound += f.res.LB
 		if f.res.Heur {
 			c.HeuristicFragments++

@@ -140,6 +140,11 @@ type SolveResponse struct {
 	States       int `json:"states,omitempty"`
 	Subinstances int `json:"subinstances,omitempty"`
 	CacheHits    int `json:"cacheHits,omitempty"`
+	// PrunedStates and ExpandedStates report the exact tier's
+	// branch-and-bound accounting: subproblems cut by the lower bound
+	// versus subproblems expanded.
+	PrunedStates   int `json:"prunedStates,omitempty"`
+	ExpandedStates int `json:"expandedStates,omitempty"`
 	// Mode is the solving tier that served the request ("" = exact).
 	Mode string `json:"mode,omitempty"`
 	// LowerBound is the certified lower bound on the optimal cost, in

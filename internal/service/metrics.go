@@ -39,6 +39,13 @@ type metrics struct {
 	modeAuto      atomic.Int64
 	qualityGap    atomic.Uint64 // float64 bits of the summed gap
 
+	// Branch-and-bound accounting summed over served solutions: DP
+	// subproblems cut by the exact tier's bound versus subproblems
+	// expanded. Their ratio is the live pruning effectiveness of the
+	// workload the daemon is actually serving.
+	prunedStates   atomic.Int64
+	expandedStates atomic.Int64
+
 	errBadRequest  atomic.Int64
 	errInfeasible  atomic.Int64
 	errCanceled    atomic.Int64
@@ -48,9 +55,12 @@ type metrics struct {
 }
 
 // countModeSolve records one successfully served solution: the mode
-// that produced it and its certified optimality gap.
-func (m *metrics) countModeSolve(mode gapsched.Mode, gap float64) {
-	switch mode {
+// that produced it, its certified optimality gap, and its
+// branch-and-bound state counters.
+func (m *metrics) countModeSolve(sol gapsched.Solution, gap float64) {
+	m.prunedStates.Add(int64(sol.PrunedStates))
+	m.expandedStates.Add(int64(sol.ExpandedStates))
+	switch sol.Mode {
 	case gapsched.ModeHeuristic:
 		m.modeHeuristic.Add(1)
 	case gapsched.ModeAuto:
@@ -130,6 +140,9 @@ func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched
 		`mode="auto"`, m.modeAuto.Load())
 	fmt.Fprintf(w, "# HELP gapschedd_quality_gap_total Summed certified optimality gap (cost minus lower bound) over served solutions.\n"+
 		"# TYPE gapschedd_quality_gap_total counter\ngapschedd_quality_gap_total %g\n", m.qualityGapTotal())
+	counter("gapschedd_dp_states_total", "Exact-tier DP subproblems over served solutions, by outcome: pruned (cut by the branch-and-bound lower bound) versus expanded.",
+		`outcome="pruned"`, m.prunedStates.Load(),
+		`outcome="expanded"`, m.expandedStates.Load())
 	counter("gapschedd_session_events_total", "Incremental-session lifecycle and usage events.",
 		`event="created"`, m.sessionsCreated.Load(),
 		`event="closed"`, m.sessionsClosed.Load(),

@@ -263,6 +263,8 @@ func wireOutcome(out outcome) sched.SolveResponse {
 		States:             sol.States,
 		Subinstances:       sol.Subinstances,
 		CacheHits:          sol.CacheHits,
+		PrunedStates:       sol.PrunedStates,
+		ExpandedStates:     sol.ExpandedStates,
 		Mode:               sol.Mode.String(),
 		LowerBound:         sol.LowerBound,
 		HeuristicFragments: sol.HeuristicFragments,
@@ -344,7 +346,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.writeWireError(w, resp.Err)
 			return
 		}
-		s.met.countModeSolve(out.sol.Mode, costOf(key, out.sol)-out.sol.LowerBound)
+		s.met.countModeSolve(out.sol, costOf(key, out.sol)-out.sol.LowerBound)
 		writeJSON(w, http.StatusOK, resp)
 	case <-r.Context().Done():
 		// The client is gone; its window still completes for the
@@ -410,7 +412,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if out.Err != nil {
 				s.met.bumpError(out.Err.Code)
 			} else {
-				s.met.countModeSolve(br.Solution.Mode, costOf(key, br.Solution)-br.Solution.LowerBound)
+				s.met.countModeSolve(br.Solution, costOf(key, br.Solution)-br.Solution.LowerBound)
 			}
 			resp.Responses[idxs[j]] = out
 		}

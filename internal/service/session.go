@@ -302,7 +302,7 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.sessionSolves.Add(1)
-	s.met.countModeSolve(sol.Mode, costOf(e.key, sol)-sol.LowerBound)
+	s.met.countModeSolve(sol, costOf(e.key, sol)-sol.LowerBound)
 	resp := wireOutcome(outcome{sol: sol})
 	resp.ResolvedFragments = sol.ResolvedFragments
 	resp.ReusedFragments = sol.ReusedFragments

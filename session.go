@@ -160,6 +160,7 @@ func (ss *Session) Resolve() (Solution, error) {
 	cost, schedule, counts, err := ss.tr.Resolve(func(fr sched.Instance) incr.Result {
 		r := ss.solver.solveFragment(ss.rt, ss.cache, fr)
 		return incr.Result{Cost: r.cost, Schedule: r.schedule, States: r.states,
+			Pruned: r.pruned, Expanded: r.expanded,
 			LB: r.lb, Heur: r.heur, Hit: r.hit, Err: r.err}
 	})
 	if err != nil {
@@ -171,6 +172,8 @@ func (ss *Session) Resolve() (Solution, error) {
 	sol := Solution{
 		Schedule:           schedule,
 		States:             counts.States,
+		PrunedStates:       counts.PrunedStates,
+		ExpandedStates:     counts.ExpandedStates,
 		Subinstances:       ss.tr.Fragments(),
 		CacheHits:          counts.CacheHits,
 		ResolvedFragments:  counts.Resolved,

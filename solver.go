@@ -194,6 +194,16 @@ type Solution struct {
 	// tier; 0 for ModeExact, Subinstances for ModeHeuristic, and
 	// in between for ModeAuto on mixed instances.
 	HeuristicFragments int
+	// PrunedStates counts exact-tier DP subproblems answered by the
+	// branch-and-bound lower bound without being expanded, summed over
+	// fragments. ExpandedStates counts the subproblems the recursion
+	// actually expanded; together with States they size the bounded
+	// search against the full DP. Like States, fragments served from the
+	// cache report the counters of the solve that populated the entry,
+	// so both are independent of cache hits; heuristic fragments
+	// contribute 0.
+	PrunedStates   int
+	ExpandedStates int
 }
 
 // FragmentCache is a sharded, bounded (LRU per shard) cache of
@@ -233,6 +243,8 @@ type fragSolution struct {
 	cost     float64
 	schedule sched.Schedule
 	states   int
+	pruned   int
+	expanded int
 	lb       float64
 	heur     bool
 	err      error
@@ -261,17 +273,28 @@ type objectiveRuntime struct {
 	finish     func(*Solution, float64)
 }
 
+// autoPruneDiscount scales ModeAuto's admission estimate to reflect
+// branch-and-bound pruning: prep.StateEstimate models the unpruned
+// state space, while the bounded engine expands a fraction of it on
+// real workloads (the state-count reductions E21 measures run well
+// above this factor), so admitting by raw estimate would send the
+// exact tier's newly affordable fragments to the heuristic. Dividing
+// the estimate, rather than multiplying the budget, keeps MaxInt
+// budgets overflow-free.
+const autoPruneDiscount = 32
+
 // heuristicTier reports whether this fragment is served by the greedy
 // tier under the configured mode. ModeAuto admits a fragment to the
-// exact tier when its estimated DP size fits the budget; the estimate
-// depends only on the job multiset and processor count, so the
-// decision is identical for a fragment and its canonical form.
+// exact tier when its estimated DP size — discounted for pruning —
+// fits the budget; the estimate depends only on the job multiset and
+// processor count, so the decision is identical for a fragment and its
+// canonical form.
 func (rt *objectiveRuntime) heuristicTier(fr sched.Instance) bool {
 	switch rt.mode {
 	case ModeHeuristic:
 		return true
 	case ModeAuto:
-		return prep.StateEstimate(fr) > rt.budget
+		return prep.StateEstimate(fr)/autoPruneDiscount > rt.budget
 	}
 	return false
 }
@@ -311,7 +334,8 @@ func (s Solver) runtime() (objectiveRuntime, error) {
 			solveExact: func(fr sched.Instance) fragSolution {
 				res, err := core.SolveGaps(fr)
 				return fragSolution{cost: float64(res.Spans), schedule: res.Schedule,
-					states: res.States, lb: float64(res.Spans), err: err}
+					states: res.States, pruned: res.PrunedStates, expanded: res.ExpandedStates,
+					lb: float64(res.Spans), err: err}
 			},
 			solveHeur: func(fr sched.Instance) fragSolution {
 				res, err := heur.SolveGapsFragment(fr)
@@ -334,7 +358,8 @@ func (s Solver) runtime() (objectiveRuntime, error) {
 			solveExact: func(fr sched.Instance) fragSolution {
 				res, err := core.SolvePower(fr, alpha)
 				return fragSolution{cost: res.Power, schedule: res.Schedule,
-					states: res.States, lb: res.Power, err: err}
+					states: res.States, pruned: res.PrunedStates, expanded: res.ExpandedStates,
+					lb: res.Power, err: err}
 			},
 			solveHeur: func(fr sched.Instance) fragSolution {
 				res, err := heur.SolvePowerFragment(fr, alpha)
@@ -357,6 +382,8 @@ type fragResult struct {
 	cost     float64
 	schedule sched.Schedule
 	states   int
+	pruned   int
+	expanded int
 	lb       float64
 	heur     bool
 	hit      bool
@@ -419,12 +446,15 @@ func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sche
 	if cache == nil {
 		val := solve(fr)
 		return fragResult{cost: val.cost, schedule: val.schedule, states: val.states,
+			pruned: val.pruned, expanded: val.expanded,
 			lb: val.lb, heur: val.heur, err: val.err}
 	}
 	canon, perm := prep.Canonicalize(fr)
 	key := prep.CanonicalKey(canon, tag, rt.alpha)
 	val, hit := cache.c.Do(key, func() fragSolution { return solve(canon) })
-	res := fragResult{cost: val.cost, states: val.states, lb: val.lb, heur: val.heur, hit: hit, err: val.err}
+	res := fragResult{cost: val.cost, states: val.states,
+		pruned: val.pruned, expanded: val.expanded,
+		lb: val.lb, heur: val.heur, hit: hit, err: val.err}
 	if val.err == nil {
 		// Canonical job i is fragment job perm[i]; their windows agree,
 		// so rerouting the slots yields a valid fragment schedule. The
@@ -461,6 +491,8 @@ func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Soluti
 		cost += r.cost
 		sol.LowerBound += r.lb
 		sol.States += r.states
+		sol.PrunedStates += r.pruned
+		sol.ExpandedStates += r.expanded
 		if r.heur {
 			sol.HeuristicFragments++
 		}
