@@ -1,6 +1,6 @@
 package gapsched
 
-// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E20),
+// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E22),
 // one benchmark per table/figure. Run with:
 //
 //	go test -bench=. -benchmem
@@ -15,6 +15,7 @@ package gapsched
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"testing"
 
@@ -587,6 +588,80 @@ func BenchmarkE21_BoundedExact(b *testing.B) {
 				b.Fatal("discounted admission no longer keeps n=400 dense exact")
 			}
 		}
+	})
+}
+
+// BenchmarkE22_OnlineTier: the online streaming tier end to end —
+// release-ordered Adds through an OpenOnline session plus the final
+// mirror resolve that measures the competitive ratio. Lanes cover the
+// adversarial Ω(n) family, heuristic-scale stress streams, and the
+// ski-rental power-down family; each reports the measured ratio as
+// ratio/op and fails loudly if it leaves its analytic range.
+func BenchmarkE22_OnlineTier(b *testing.B) {
+	stream := func(b *testing.B, s Solver, in Instance) Solution {
+		b.Helper()
+		jobs := append([]sched.Job(nil), in.Jobs...)
+		sort.SliceStable(jobs, func(x, y int) bool { return jobs[x].Release < jobs[y].Release })
+		ss, err := s.OpenOnline(in.Procs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ss.Close()
+		for _, j := range jobs {
+			if _, err := ss.Add(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sol, err := ss.Resolve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sol
+	}
+	b.Run("adversarial/n=32", func(b *testing.B) {
+		in := workload.OnlineLowerBound(32)
+		ratio := 0.0
+		for i := 0; i < b.N; i++ {
+			sol := stream(b, Solver{}, Instance{Jobs: in.Jobs, Procs: in.Procs})
+			if sol.Spans != 32 {
+				b.Fatalf("online run has %d spans, want 32", sol.Spans)
+			}
+			ratio += sol.CompetitiveRatio
+		}
+		b.ReportMetric(ratio/float64(b.N), "ratio/op")
+	})
+	for _, prof := range []string{workload.ProfileBursty, workload.ProfileSparse} {
+		rng := rand.New(rand.NewSource(22))
+		in, err := workload.Stress(rng, prof, 4000, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("stream/"+prof+"-4k", func(b *testing.B) {
+			ratio := 0.0
+			for i := 0; i < b.N; i++ {
+				sol := stream(b, Solver{}, Instance{Jobs: in.Jobs, Procs: in.Procs})
+				if sol.CompetitiveRatio < 1-1e-12 {
+					b.Fatalf("measured ratio %v < 1", sol.CompetitiveRatio)
+				}
+				ratio += sol.CompetitiveRatio
+			}
+			b.ReportMetric(ratio/float64(b.N), "ratio/op")
+		})
+	}
+	b.Run("powerdown/alpha=2/period=6", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(22))
+		in := workload.Periodic(rng, 200, 6, 0, 0)
+		s := Solver{Objective: ObjectivePower, Alpha: 2}
+		bound := powerdown.CompetitiveRatio(powerdown.Threshold{Tau: 2}, 2, 5)
+		ratio := 0.0
+		for i := 0; i < b.N; i++ {
+			sol := stream(b, s, Instance{Jobs: in.Jobs, Procs: in.Procs})
+			if sol.CompetitiveRatio > bound+1e-9 {
+				b.Fatalf("measured ratio %v exceeds analytic bound %v", sol.CompetitiveRatio, bound)
+			}
+			ratio += sol.CompetitiveRatio
+		}
+		b.ReportMetric(ratio/float64(b.N), "ratio/op")
 	})
 }
 

@@ -1,0 +1,127 @@
+package main
+
+// Experiment E22: the online streaming tier and its measured
+// competitive ratios. Three tables, each driving gapsched.OpenOnline
+// sessions job by job in release order and reading the ratio the
+// facade measures (committed-run cost over the certified lower bound
+// of the revealed prefix's offline optimum):
+//
+//  1. Adversarial — the §1 lower-bound family. Any eager online
+//     algorithm pays n spans where the offline optimum pays 1, so the
+//     measured ratio must meet the analytic Ω(n) bound exactly.
+//
+//  2. Stress — bursty and sparse device workloads at heuristic-tier
+//     sizes. No adversary here, but the measurement must stay honest:
+//     the ratio is ≥ 1 by construction (online cost ≥ offline optimum
+//     ≥ its certified lower bound), and on these gap-structured
+//     families it stays small.
+//
+//  3. Power-down — duty-cycled periodic workloads with forced slots,
+//     where the only online decision is the α-threshold ski-rental
+//     rule at each gap. The measured ratio must sit within the
+//     analytic worst-case ratio of the threshold policy over the idle
+//     lengths the family actually produces (≤ 2 for τ = α).
+
+import (
+	"math/rand"
+	"sort"
+
+	gapsched "repro"
+	"repro/internal/powerdown"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E22", "Online tier: measured competitive ratios", runE22)
+}
+
+func runE22(cfg config) []*stats.Table {
+	return []*stats.Table{
+		e22Adversarial(cfg),
+		e22Stress(cfg),
+		e22Powerdown(cfg),
+	}
+}
+
+// e22Stream feeds jobs (sorted by release) into a fresh online session
+// and returns the final resolved solution.
+func e22Stream(s gapsched.Solver, procs int, jobs []sched.Job) gapsched.Solution {
+	ordered := append([]sched.Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Release < ordered[b].Release })
+	ss, err := s.OpenOnline(procs)
+	if err != nil {
+		panic(err)
+	}
+	defer ss.Close()
+	for _, j := range ordered {
+		if _, err := ss.Add(j); err != nil {
+			panic(err)
+		}
+	}
+	sol, err := ss.Resolve()
+	if err != nil {
+		panic(err)
+	}
+	return sol
+}
+
+func e22Adversarial(cfg config) *stats.Table {
+	sizes := []int{8, 16, 32, 64}
+	if cfg.quick {
+		sizes = []int{4, 8}
+	}
+	tb := stats.NewTable("n", "online spans", "offline LB", "measured ratio", "analytic Ω(n)", "meets bound")
+	for _, n := range sizes {
+		in := workload.OnlineLowerBound(n)
+		sol := e22Stream(gapsched.Solver{}, in.Procs, in.Jobs)
+		tb.AddRow(n, sol.Spans, sol.LowerBound, sol.CompetitiveRatio, n,
+			boolMark(sol.Spans == n && sol.CompetitiveRatio >= float64(n)-1e-9))
+	}
+	return tb
+}
+
+func e22Stress(cfg config) *stats.Table {
+	n := 4000
+	if cfg.quick {
+		n = 1000
+	}
+	tb := stats.NewTable("family", "jobs", "procs", "online spans", "offline LB", "measured ratio", "ratio ≥ 1")
+	for _, fam := range []struct {
+		name string
+		gen  func(rng *rand.Rand, n, p int) sched.Instance
+	}{
+		{"bursty", workload.StressBursty},
+		{"sparse", workload.StressSparse},
+	} {
+		rng := rand.New(rand.NewSource(cfg.seed))
+		in := fam.gen(rng, n, 2)
+		sol := e22Stream(gapsched.Solver{}, in.Procs, in.Jobs)
+		tb.AddRow(fam.name, len(in.Jobs), in.Procs, sol.Spans, sol.LowerBound, sol.CompetitiveRatio,
+			boolMark(sol.CompetitiveRatio >= 1-1e-12))
+	}
+	return tb
+}
+
+func e22Powerdown(cfg config) *stats.Table {
+	n := 200
+	if cfg.quick {
+		n = 60
+	}
+	tb := stats.NewTable("α", "period", "jobs", "online power", "offline LB", "measured ratio",
+		"analytic bound", "within bound")
+	for _, alpha := range []float64{2, 4} {
+		for _, period := range []int{3, 6} {
+			rng := rand.New(rand.NewSource(cfg.seed))
+			// Forced slots (no jitter, no slack): the schedule is fixed, so
+			// the measured ratio isolates the ski-rental gap decisions.
+			in := workload.Periodic(rng, n, period, 0, 0)
+			sol := e22Stream(gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha}, in.Procs, in.Jobs)
+			bound := powerdown.CompetitiveRatio(powerdown.Threshold{Tau: alpha}, alpha, period-1)
+			tb.AddRow(alpha, period, len(in.Jobs), sol.Power, sol.LowerBound, sol.CompetitiveRatio, bound,
+				boolMark(sol.CompetitiveRatio <= bound+1e-9))
+		}
+	}
+	return tb
+}

@@ -11,6 +11,7 @@
 //	gapsched -input multi.json -algo approx
 //	gapsched -input multi.json -algo throughput -budget 3
 //	gapsched -stream -algo power -alpha 3 -mode auto < deltas.txt
+//	gapsched -stream -online -algo gaps < arrivals.txt
 //
 // Algorithms: gaps (Thm 1 exact), power (Thm 2 exact), greedy
 // ([FHKN06] baseline, single processor), edf (online baseline),
@@ -32,6 +33,14 @@
 // re-resolved incrementally (only the schedule fragments the delta
 // touched are re-solved) and printed. Blank lines and #-comments are
 // skipped; an infeasible state is reported and the stream continues.
+//
+// Online mode (-stream -online) makes the session commit-only: jobs
+// must arrive in non-decreasing release order, removals are rejected,
+// and every time unit up to the latest arrival is committed
+// irrevocably, with idle gaps priced by the α-threshold power-down
+// rule. Each resolve line then also reports the measured competitive
+// ratio — the committed-run cost over the certified lower bound of
+// the revealed prefix's offline optimum.
 //
 // Unknown flags and stray positional arguments exit with status 2 and
 // the usage text, matching the other CLIs.
@@ -63,6 +72,7 @@ type options struct {
 	mode        string
 	stateBudget int
 	stream      bool
+	online      bool
 	quiet       bool
 }
 
@@ -82,6 +92,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.mode, "mode", "exact", "solver tier for gaps/power: exact | heuristic | auto")
 	fs.IntVar(&o.stateBudget, "state-budget", 0, "auto-mode exact-tier budget on estimated DP states per fragment (0 = default)")
 	fs.BoolVar(&o.stream, "stream", false, "read job deltas line by line and resolve incrementally")
+	fs.BoolVar(&o.online, "online", false, "commit-only online session with measured competitive ratio (requires -stream)")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the timeline rendering")
 	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
@@ -105,6 +116,9 @@ func run(o options, w io.Writer) error {
 	mode, err := gapsched.ParseMode(o.mode)
 	if err != nil {
 		return err
+	}
+	if o.online && !o.stream {
+		return errors.New("-online requires -stream")
 	}
 	var r io.Reader = os.Stdin
 	if input != "-" {
@@ -268,7 +282,9 @@ func printCertificate(w io.Writer, sol gapsched.Solution, cost float64) {
 // one, and after every delta the evolving cost is re-resolved
 // incrementally and printed together with the fragment-reuse counters
 // (plus the certified lower bound when the session runs on a
-// non-exact mode). A negative alpha (the flag default) means 0.
+// non-exact mode). With -online the session is commit-only and each
+// resolve line reports the measured competitive ratio. A negative
+// alpha (the flag default) means 0.
 func runStream(r io.Reader, o options, mode gapsched.Mode, w io.Writer) error {
 	algo, alpha, procs := o.algo, o.alpha, o.procs
 	if alpha < 0 {
@@ -282,7 +298,11 @@ func runStream(r io.Reader, o options, mode gapsched.Mode, w io.Writer) error {
 	default:
 		return fmt.Errorf("-stream supports gaps and power, not %q", algo)
 	}
-	sess, err := s.Open(procs)
+	open := s.Open
+	if o.online {
+		open = s.OpenOnline
+	}
+	sess, err := open(procs)
 	if err != nil {
 		return err
 	}
@@ -334,8 +354,11 @@ func runStream(r io.Reader, o options, mode gapsched.Mode, w io.Writer) error {
 		if algo == "power" {
 			cost = fmt.Sprintf("power=%.3f (α=%.2f)", sol.Power, alpha)
 		}
-		if mode != gapsched.ModeExact {
+		if sol.Mode != gapsched.ModeExact {
 			cost += fmt.Sprintf(" lb=%.3f heur=%d", sol.LowerBound, sol.HeuristicFragments)
+		}
+		if o.online {
+			cost += fmt.Sprintf(" ratio=%.3f committed=%d", sol.CompetitiveRatio, sol.CommittedJobs)
 		}
 		fmt.Fprintf(w, "%-16s jobs=%-4d frags=%-3d resolved=%-3d reused=%-3d %s\n",
 			what, sess.Len(), sol.Subinstances, sol.ResolvedFragments, sol.ReusedFragments, cost)

@@ -260,6 +260,58 @@ func TestRunModes(t *testing.T) {
 	}
 }
 
+// TestRunStreamOnline drives -stream -online through the adversarial
+// family: every resolve line carries the measured competitive ratio,
+// and the final ratio is exactly n (3 committed spans against an
+// offline optimum of 1).
+func TestRunStreamOnline(t *testing.T) {
+	path := writeScript(t, `
+# three flexible jobs, then the tight jobs that punish eagerness
+add 0 9
+add 0 9
+add 0 9
+add 3 4
+add 5 6
+add 7 8
+`)
+	var b strings.Builder
+	if err := run(options{input: path, algo: "gaps", alpha: -1, budget: 2, procs: 1, stream: true, online: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d output lines, want 6:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "ratio=") || !strings.Contains(line, "committed=") {
+			t.Fatalf("online resolve line missing ratio columns: %q", line)
+		}
+	}
+	if last := lines[len(lines)-1]; !strings.Contains(last, "ratio=3.000") || !strings.Contains(last, "spans=3") {
+		t.Fatalf("final adversarial state wrong: %q", last)
+	}
+}
+
+// TestRunStreamOnlineRejections: online streams are commit-only —
+// removals and out-of-order arrivals fail with line-numbered errors —
+// and -online without -stream is a usage error.
+func TestRunStreamOnlineRejections(t *testing.T) {
+	for name, script := range map[string]string{
+		"remove":       "add 0 4\nremove 0\n",
+		"out of order": "add 5 9\nadd 2 9\n",
+	} {
+		path := writeScript(t, script)
+		err := run(options{input: path, algo: "gaps", alpha: -1, budget: 2, procs: 1, stream: true, online: true}, &strings.Builder{})
+		if err == nil || !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: err %v, want a line-2 error", name, err)
+		}
+	}
+	if err := run(options{algo: "gaps", alpha: -1, online: true}, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "-stream") {
+		t.Errorf("-online without -stream: %v, want usage error", err)
+	}
+}
+
 // TestRunStreamModes: -stream sessions honor -mode, printing the lb
 // column for non-exact tiers.
 func TestRunStreamModes(t *testing.T) {

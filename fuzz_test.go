@@ -13,9 +13,12 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/feas"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -350,6 +353,91 @@ func FuzzPrunedExact(f *testing.F) {
 			if pl.PrunedStates != 0 {
 				t.Fatalf("NoPrune power run reported %d pruned states", pl.PrunedStates)
 			}
+		}
+	})
+}
+
+// FuzzOnlineCommit certifies the online tier's commit contract on
+// every decodable instance fed in release order, both objectives:
+// once a slot is committed its assignment is bit-exact forever (also
+// across Resolve, which projects but must not mutate); Resolve fails
+// with ErrInfeasible exactly when the revealed prefix is infeasible by
+// the Hall-condition oracle; and on feasible prefixes the online cost
+// dominates the exact offline optimum of the revealed prefix, with a
+// measured CompetitiveRatio ≥ 1.
+func FuzzOnlineCommit(f *testing.F) {
+	seedFuzzCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, alpha, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		jobs := append([]Job(nil), in.Jobs...)
+		sort.SliceStable(jobs, func(a, b int) bool {
+			if jobs[a].Release != jobs[b].Release {
+				return jobs[a].Release < jobs[b].Release
+			}
+			return jobs[a].Deadline < jobs[b].Deadline
+		})
+		for _, lane := range []Solver{
+			{},
+			{Objective: ObjectivePower, Alpha: alpha},
+		} {
+			ss, err := lane.OpenOnline(in.Procs)
+			if err != nil {
+				t.Fatalf("OpenOnline: %v", err)
+			}
+			var prevSlots []sched.Assignment
+			var prevDone []bool
+			checkPrefix := func(when string) {
+				slots, done := ss.onl.CommittedPrefix()
+				for i, was := range prevDone {
+					if !was {
+						continue
+					}
+					if !done[i] || slots[i] != prevSlots[i] {
+						t.Fatalf("%s: committed slot %d mutated: %+v/%v → %+v/%v (jobs %v procs %d)",
+							when, i, prevSlots[i], was, slots[i], done[i], jobs, in.Procs)
+					}
+				}
+				prevSlots, prevDone = slots, done
+			}
+			for k, j := range jobs {
+				if _, err := ss.Add(j); err != nil {
+					t.Fatalf("Add(%v): %v", j, err)
+				}
+				checkPrefix("after add")
+				revealed := ss.Instance()
+				feasible := feas.FeasibleOneInterval(revealed)
+				sol, err := ss.Resolve()
+				checkPrefix("after resolve")
+				if feasible != (err == nil) {
+					t.Fatalf("prefix %d: oracle says feasible=%v, Resolve err %v (jobs %v procs %d)",
+						k, feasible, err, revealed.Jobs, in.Procs)
+				}
+				if err != nil {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatalf("Resolve failed with %v, want ErrInfeasible", err)
+					}
+					continue
+				}
+				opt, err := lane.Solve(revealed)
+				if err != nil {
+					t.Fatalf("offline prefix solve: %v", err)
+				}
+				online, offline := lane.Objective.Cost(sol), lane.Objective.Cost(opt)
+				if online < offline-1e-9 {
+					t.Fatalf("online cost %v beats offline optimum %v (jobs %v procs %d alpha %v)",
+						online, offline, revealed.Jobs, in.Procs, alpha)
+				}
+				if sol.CompetitiveRatio < 1-1e-12 {
+					t.Fatalf("CompetitiveRatio %v < 1 (jobs %v procs %d)", sol.CompetitiveRatio, revealed.Jobs, in.Procs)
+				}
+				if err := sol.Schedule.Validate(revealed); err != nil {
+					t.Fatalf("online schedule invalid: %v (jobs %v procs %d)", err, revealed.Jobs, in.Procs)
+				}
+			}
+			ss.Close()
 		}
 	})
 }

@@ -243,3 +243,34 @@ func TestTrackerEmptyAndUnknown(t *testing.T) {
 		t.Fatal("double remove succeeded")
 	}
 }
+
+// TestTrackerArrivalOrderedDeltas pins the locality property the
+// online tier leans on: when jobs arrive in non-decreasing release
+// order — every new release is ≥ all previous ones, so every existing
+// fragment starts at or before it — an add can only extend or append
+// to the LAST fragment, never disturb an earlier one. Each arrival
+// therefore dirties exactly one fragment and the mirror re-solve
+// behind a streaming session is one fragment's work, not the prefix's.
+func TestTrackerArrivalOrderedDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		tr := New(1+rng.Intn(2), 1)
+		release := 0
+		for k := 0; k < 12; k++ {
+			release += rng.Intn(6) // non-decreasing, sometimes equal
+			tr.Add(sched.Job{Release: release, Deadline: release + rng.Intn(9)})
+			checkDecomposition(t, tr, 1)
+			_, _, c, err := tr.Resolve(gapSolve)
+			if err != nil {
+				if !errors.Is(err, core.ErrInfeasible) {
+					t.Fatalf("Resolve: %v", err)
+				}
+				continue
+			}
+			if c.Resolved != 1 || c.Reused != tr.Fragments()-1 {
+				t.Fatalf("arrival-ordered add resolved %d fragments, reused %d of %d — the delta was not local (jobs %v)",
+					c.Resolved, c.Reused, tr.Fragments(), tr.Instance().Jobs)
+			}
+		}
+	}
+}

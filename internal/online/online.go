@@ -1,8 +1,18 @@
-// Package online demonstrates the paper's §1 observation that one-interval
-// gap scheduling is uninteresting online: any algorithm that guarantees
-// feasibility must schedule eagerly (earliest-deadline-first, never
-// idling while work is pending), and on the adversarial family LB(n) it
-// pays Ω(n) spans while the offline optimum needs one.
+// Package online is the online scheduling tier. Scheduler (scheduler.go)
+// commits each time unit's eager-EDF and power-down decisions
+// irrevocably as jobs are revealed in release order; the facade's
+// Solver.OpenOnline measures its competitive ratio live against the
+// offline optimum of the revealed prefix.
+//
+// The package started as — and still contains — the paper's §1
+// demonstration that one-interval gap scheduling is bleak online: any
+// algorithm that guarantees feasibility must schedule eagerly
+// (earliest-deadline-first, never idling while work is pending), and on
+// the adversarial family LB(n) it pays Ω(n) spans while the offline
+// optimum needs one. That Ω(n) is intrinsic, which is why the tier
+// reports measured ratios instead of promising constant ones for gaps;
+// the power objective's idle decisions, by contrast, follow the
+// 2-competitive ski-rental threshold rule (internal/powerdown).
 package online
 
 import (

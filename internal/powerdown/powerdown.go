@@ -14,7 +14,10 @@
 //
 // These baselines quantify what the paper's offline algorithms buy:
 // experiment E14 compares them against the exact offline DP on the same
-// workloads.
+// workloads. The online streaming tier (internal/online) prices each
+// committed gap with the Threshold policy at τ = α, and experiment E22
+// checks its measured competitive ratios against CompetitiveRatio's
+// analytic worst case.
 package powerdown
 
 import (

@@ -159,6 +159,14 @@ type SolveResponse struct {
 	// resolve actually re-solved versus served from session state.
 	ResolvedFragments int `json:"resolvedFragments,omitempty"`
 	ReusedFragments   int `json:"reusedFragments,omitempty"`
+	// CompetitiveRatio, CommittedJobs, and CommittedCost are set by
+	// solves of online (commit-only) sessions: the measured ratio of
+	// the online run's cost to the certified lower bound of the
+	// revealed prefix's offline optimum, the number of irrevocably
+	// committed jobs, and the committed prefix's cost.
+	CompetitiveRatio float64 `json:"competitiveRatio,omitempty"`
+	CommittedJobs    int     `json:"committedJobs,omitempty"`
+	CommittedCost    float64 `json:"committedCost,omitempty"`
 	// Err is set when the request failed; all other fields are zero.
 	Err *WireError `json:"error,omitempty"`
 }
@@ -227,6 +235,12 @@ type SessionCreateRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// StateBudget tunes WireModeAuto, as in SolveRequest.
 	StateBudget int `json:"stateBudget,omitempty"`
+	// Online makes the session commit-only: jobs must arrive in release
+	// order (initial Jobs included), deltas may not remove, and solves
+	// return the online run's schedule with its measured
+	// CompetitiveRatio. Solves of online sessions always mirror through
+	// the auto tier, so Mode applies to offline sessions only.
+	Online bool `json:"online,omitempty"`
 	// Jobs is the initial job set; it may be empty (jobs arrive as
 	// deltas) and may be infeasible (the first solve reports it).
 	Jobs []Job `json:"jobs,omitempty"`

@@ -79,10 +79,11 @@ func newCoalescer(window time.Duration, maxBatch int, timeout time.Duration, met
 }
 
 // enqueue buffers one request and returns the channel its outcome will
-// arrive on. ctx is honored only for an immediate (uncoalesced)
-// dispatch; a coalesced dispatch serves several clients and is bounded
-// by the coalescer's timeout instead, so one disconnecting client
-// cannot cancel its peers' solutions.
+// arrive on. ctx is honored whenever the dispatch ends up serving only
+// this request — an immediate (uncoalesced) dispatch, or a window that
+// closes with no other request in it. A dispatch serving several
+// clients is bounded by the coalescer's timeout instead, so one
+// disconnecting client cannot cancel its peers' solutions.
 func (c *coalescer) enqueue(ctx context.Context, key solveKey, in gapsched.Instance) (<-chan outcome, error) {
 	p := &pending{ctx: ctx, in: in, done: make(chan outcome, 1)}
 	c.mu.Lock()
@@ -144,6 +145,11 @@ func (c *coalescer) flush(key solveKey, g *group) {
 // caller must have claimed a wg slot (detachLocked or enqueue).
 func (c *coalescer) run(key solveKey, reqs []*pending) {
 	defer c.wg.Done()
+	// A single-request dispatch serves exactly one client, however it
+	// got here — immediate, size-triggered, or a timer flush of a
+	// window nobody else joined — so that client's ctx can safely
+	// govern it. Multi-request dispatches share their solve across
+	// clients and rely on the coalescer timeout alone.
 	ctx := context.Background()
 	if len(reqs) == 1 && reqs[0].ctx != nil {
 		ctx = reqs[0].ctx

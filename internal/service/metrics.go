@@ -39,6 +39,13 @@ type metrics struct {
 	modeAuto      atomic.Int64
 	qualityGap    atomic.Uint64 // float64 bits of the summed gap
 
+	// Online-tier accounting: solves served for commit-only sessions,
+	// and the most recently measured competitive ratio (a gauge — the
+	// ratio is a property of one session's revealed prefix, so summing
+	// across sessions would mean nothing).
+	onlineSolves atomic.Int64
+	onlineRatio  atomic.Uint64 // float64 bits of the last ratio
+
 	// Branch-and-bound accounting summed over served solutions: DP
 	// subproblems cut by the exact tier's bound versus subproblems
 	// expanded. Their ratio is the live pruning effectiveness of the
@@ -83,6 +90,19 @@ func (m *metrics) countModeSolve(sol gapsched.Solution, gap float64) {
 // qualityGapTotal reads the summed quality gap.
 func (m *metrics) qualityGapTotal() float64 {
 	return math.Float64frombits(m.qualityGap.Load())
+}
+
+// observeOnlineRatio records one online-session solve and its measured
+// competitive ratio.
+func (m *metrics) observeOnlineRatio(ratio float64) {
+	m.onlineSolves.Add(1)
+	m.onlineRatio.Store(math.Float64bits(ratio))
+}
+
+// onlineRatioValue reads the last measured online competitive ratio
+// (0 before any online solve).
+func (m *metrics) onlineRatioValue() float64 {
+	return math.Float64frombits(m.onlineRatio.Load())
 }
 
 // bumpError increments the counter for one wire error code.
@@ -149,6 +169,10 @@ func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched
 		`event="expired"`, m.sessionsExpired.Load(),
 		`event="delta"`, m.sessionDeltas.Load(),
 		`event="solve"`, m.sessionSolves.Load())
+	counter("gapschedd_online_solves_total", "Solves served for online (commit-only) sessions.",
+		"", m.onlineSolves.Load())
+	fmt.Fprintf(w, "# HELP gapschedd_online_ratio Last measured online competitive ratio (online cost over the certified lower bound of the revealed prefix's offline optimum).\n"+
+		"# TYPE gapschedd_online_ratio gauge\ngapschedd_online_ratio %g\n", m.onlineRatioValue())
 	fmt.Fprintf(w, "# HELP gapschedd_sessions_open Incremental sessions currently live.\n"+
 		"# TYPE gapschedd_sessions_open gauge\ngapschedd_sessions_open %d\n", sessionsOpen)
 	fmt.Fprintf(w, "# HELP gapschedd_inflight_requests HTTP requests currently being served.\n"+

@@ -68,10 +68,10 @@ type Config struct {
 	CacheCapacity int
 	// Workers bounds each dispatch's solver pool (0 = GOMAXPROCS).
 	Workers int
-	// SolveTimeout is the per-dispatch solve deadline. Immediate
-	// dispatches additionally honor their client's request context;
-	// coalesced dispatches are shared and honor only this timeout.
-	// Zero means no deadline.
+	// SolveTimeout is the per-dispatch solve deadline. A dispatch
+	// that serves a single request additionally honors that client's
+	// request context; dispatches shared by several coalesced
+	// requests honor only this timeout. Zero means no deadline.
 	SolveTimeout time.Duration
 	// SessionTTL is how long an idle /v1/session session survives
 	// before it is evicted (0 = DefaultSessionTTL; negative disables
@@ -177,6 +177,10 @@ type Stats struct {
 	// QualityGap is the summed certified optimality gap (cost −
 	// lowerBound) over every served solution; exact solves contribute 0.
 	QualityGap float64
+	// OnlineSolves counts solves served for online (commit-only)
+	// sessions; OnlineRatio is the last measured competitive ratio.
+	OnlineSolves int64
+	OnlineRatio  float64
 	// Buffered is the number of requests currently waiting in open
 	// coalescing windows.
 	Buffered     int
@@ -205,8 +209,10 @@ func (s *Server) Stats() Stats {
 			sched.WireModeHeuristic: s.met.modeHeuristic.Load(),
 			sched.WireModeAuto:      s.met.modeAuto.Load(),
 		},
-		QualityGap: s.met.qualityGapTotal(),
-		Buffered:   s.co.buffered(),
+		QualityGap:   s.met.qualityGapTotal(),
+		OnlineSolves: s.met.onlineSolves.Load(),
+		OnlineRatio:  s.met.onlineRatioValue(),
+		Buffered:     s.co.buffered(),
 		Errors: map[string]int64{
 			sched.ErrCodeBadRequest:  s.met.errBadRequest.Load(),
 			sched.ErrCodeInfeasible:  s.met.errInfeasible.Load(),
@@ -268,6 +274,9 @@ func wireOutcome(out outcome) sched.SolveResponse {
 		Mode:               sol.Mode.String(),
 		LowerBound:         sol.LowerBound,
 		HeuristicFragments: sol.HeuristicFragments,
+		CompetitiveRatio:   sol.CompetitiveRatio,
+		CommittedJobs:      sol.CommittedJobs,
+		CommittedCost:      sol.CommittedCost,
 	}
 }
 
@@ -290,6 +299,9 @@ func wireError(err error) *sched.WireError {
 	case errors.Is(err, gapsched.ErrSessionClosed):
 		// The session was deleted or expired between lookup and use.
 		code = sched.ErrCodeNotFound
+	case errors.Is(err, gapsched.ErrCommitOnly), errors.Is(err, gapsched.ErrReleaseOrder):
+		// Online-session contract violations: the request is at fault.
+		code = sched.ErrCodeBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = sched.ErrCodeCanceled
 	}

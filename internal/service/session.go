@@ -18,6 +18,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -110,25 +111,36 @@ func (r *sessionRegistry) expireIdle(now time.Time) {
 	}
 }
 
-// create opens a session and registers it.
-func (r *sessionRegistry) create(s gapsched.Solver, key solveKey, procs int) (string, *sessionEntry, error) {
-	sess, err := s.Open(procs)
+// create opens a session via open and registers it. The session is
+// opened before taking the lock (opening validates configuration and
+// may allocate), so on the rejection paths — registry shutting down,
+// table full — the freshly opened session must be closed before
+// returning, or every rejected create would leak a live
+// gapsched.Session.
+func (r *sessionRegistry) create(open func(procs int) (*gapsched.Session, error), key solveKey, procs int) (string, *sessionEntry, error) {
+	sess, err := open(procs)
 	if err != nil {
 		return "", nil, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
+		sess.Close()
 		return "", nil, ErrShuttingDown
 	}
 	if r.max > 0 && len(r.byID) >= r.max {
-		return "", nil, fmt.Errorf("service: %w: %d sessions open", errSessionsFull, len(r.byID))
+		n := len(r.byID)
+		r.mu.Unlock()
+		sess.Close()
+		return "", nil, fmt.Errorf("%w: %d sessions open", errSessionsFull, n)
 	}
 	r.nextID++
 	id := "s" + strconv.FormatInt(r.nextID, 10)
 	r.byID[id] = &sessionEntry{sess: sess, key: key, lastUsed: time.Now()}
 	r.met.sessionsCreated.Add(1)
-	return id, r.byID[id], nil
+	e := r.byID[id]
+	r.mu.Unlock()
+	return id, e, nil
 }
 
 // lookup returns the live entry for id, refreshing its TTL clock. A
@@ -214,7 +226,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if procs == 0 {
 		procs = 1
 	}
-	id, e, err := s.sessions.create(s.solverFor(key), key, procs)
+	if req.Online {
+		if err := orderedArrivals(req.Jobs, math.MinInt); err != nil {
+			s.writeSessionError(w, wireError(err))
+			return
+		}
+	}
+	solver := s.solverFor(key)
+	open := solver.Open
+	if req.Online {
+		open = solver.OpenOnline
+	}
+	id, e, err := s.sessions.create(open, key, procs)
 	if err != nil {
 		s.writeSessionError(w, wireError(err))
 		return
@@ -224,7 +247,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	for _, j := range req.Jobs {
 		jid, err := e.sess.Add(j)
 		if err != nil {
-			// Unreachable after wire validation; fail the create whole.
+			// Unreachable after wire validation and the arrival-order
+			// pre-check; fail the create whole.
 			e.ops.Unlock()
 			s.sessions.remove(id)
 			s.writeSessionError(w, wireError(err))
@@ -234,6 +258,21 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	e.ops.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// orderedArrivals rejects job lists an online session cannot admit:
+// arrivals must carry non-decreasing releases, starting no earlier
+// than the session's watermark. Checking up front keeps creates and
+// deltas atomic — nothing is admitted from a rejected list.
+func orderedArrivals(jobs []sched.Job, watermark int) error {
+	prev := watermark
+	for i, j := range jobs {
+		if j.Release < prev {
+			return fmt.Errorf("%w: job %d [%d,%d] arrives after time %d", gapsched.ErrReleaseOrder, i, j.Release, j.Deadline, prev)
+		}
+		prev = j.Release
+	}
+	return nil
 }
 
 // handleSessionDelta serves POST /v1/session/{id}/delta. The delta is
@@ -254,6 +293,18 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	e.ops.Lock()
 	defer e.ops.Unlock()
+	if wm, online := e.sess.Online(); online {
+		// Commit-only sessions: reject removals and out-of-order
+		// arrivals before mutating anything, keeping the delta atomic.
+		if len(req.Remove) > 0 {
+			s.writeSessionError(w, wireError(gapsched.ErrCommitOnly))
+			return
+		}
+		if err := orderedArrivals(req.Add, wm); err != nil {
+			s.writeSessionError(w, wireError(err))
+			return
+		}
+	}
 	for _, jid := range req.Remove {
 		if _, live := e.sess.Job(jid); !live {
 			s.writeSessionError(w, &sched.WireError{
@@ -303,6 +354,9 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.sessionSolves.Add(1)
 	s.met.countModeSolve(sol, costOf(e.key, sol)-sol.LowerBound)
+	if sol.CompetitiveRatio > 0 {
+		s.met.observeOnlineRatio(sol.CompetitiveRatio)
+	}
 	resp := wireOutcome(outcome{sol: sol})
 	resp.ResolvedFragments = sol.ResolvedFragments
 	resp.ReusedFragments = sol.ReusedFragments

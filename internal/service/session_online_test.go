@@ -1,0 +1,160 @@
+package service
+
+// End-to-end coverage of online (commit-only) sessions over the wire:
+// competitiveRatio on solve responses, the commit-only delta contract,
+// release-order enforcement, and the online metrics series.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestSessionOnlineEndToEnd drives an online session over HTTP through
+// the §1 adversarial stream and checks the measured competitive ratio
+// comes back on the solve response.
+func TestSessionOnlineEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The n=3 adversarial family: flexible jobs first, then tight ones
+	// interleaved so the online run pays n spans against an optimum of 1.
+	create := sched.SessionCreateRequest{
+		Online: true,
+		Jobs: []sched.Job{
+			{Release: 0, Deadline: 9},
+			{Release: 0, Deadline: 9},
+			{Release: 0, Deadline: 9},
+		},
+	}
+	code, out := sessionDo(t, "POST", ts.URL+"/v1/session", create)
+	if code != http.StatusOK || out.Session == "" || len(out.JobIDs) != 3 {
+		t.Fatalf("online create: status %d payload %+v", code, out)
+	}
+	id := out.Session
+
+	for _, j := range []sched.Job{{Release: 3, Deadline: 4}, {Release: 5, Deadline: 6}, {Release: 7, Deadline: 8}} {
+		code, dout := sessionDo(t, "POST", ts.URL+"/v1/session/"+id+"/delta", sched.SessionDeltaRequest{Add: []sched.Job{j}})
+		if code != http.StatusOK || dout.Err != nil {
+			t.Fatalf("delta add %+v: status %d payload %+v", j, code, dout)
+		}
+	}
+
+	code, got := sessionSolve(t, ts.URL, id)
+	if code != http.StatusOK || got.Err != nil {
+		t.Fatalf("online solve: status %d err %+v", code, got.Err)
+	}
+	if got.Spans != 3 || got.CompetitiveRatio != 3 {
+		t.Fatalf("adversarial n=3: spans %d ratio %v, want 3 and 3", got.Spans, got.CompetitiveRatio)
+	}
+	if got.CommittedJobs == 0 {
+		t.Fatalf("stream reached time 9, yet %d jobs committed", got.CommittedJobs)
+	}
+
+	st := srv.Stats()
+	if st.OnlineSolves != 1 || st.OnlineRatio != 3 {
+		t.Fatalf("online stats: solves %d ratio %v, want 1 and 3", st.OnlineSolves, st.OnlineRatio)
+	}
+
+	// The online series make it to /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, series := range []string{
+		"gapschedd_online_solves_total 1",
+		"gapschedd_online_ratio 3",
+	} {
+		if !strings.Contains(buf.String(), series) {
+			t.Errorf("metrics output missing %q", series)
+		}
+	}
+}
+
+// TestSessionOnlineCommitOnlyContract: removals and out-of-order
+// arrivals are rejected as bad_request without mutating the session,
+// at create time and at delta time.
+func TestSessionOnlineCommitOnlyContract(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Create with out-of-order initial jobs: rejected whole, no session.
+	code, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Online: true,
+		Jobs:   []sched.Job{{Release: 8, Deadline: 9}, {Release: 2, Deadline: 9}},
+	})
+	if code != http.StatusBadRequest || out.Err == nil || out.Err.Code != sched.ErrCodeBadRequest {
+		t.Fatalf("out-of-order create: status %d payload %+v", code, out)
+	}
+	if srv.Stats().SessionsOpen != 0 {
+		t.Fatal("rejected online create left a session open")
+	}
+
+	_, out = sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Online: true,
+		Jobs:   []sched.Job{{Release: 4, Deadline: 6}},
+	})
+	id := out.Session
+
+	// Removal → bad_request, session untouched.
+	code, dout := sessionDo(t, "POST", ts.URL+"/v1/session/"+id+"/delta", sched.SessionDeltaRequest{Remove: []int{0}})
+	if code != http.StatusBadRequest || dout.Err == nil || dout.Err.Code != sched.ErrCodeBadRequest {
+		t.Fatalf("online remove: status %d payload %+v", code, dout)
+	}
+
+	// Arrival before the watermark → bad_request, nothing admitted —
+	// including a mixed delta whose first job would have been legal.
+	code, dout = sessionDo(t, "POST", ts.URL+"/v1/session/"+id+"/delta", sched.SessionDeltaRequest{
+		Add: []sched.Job{{Release: 10, Deadline: 12}, {Release: 1, Deadline: 12}},
+	})
+	if code != http.StatusBadRequest || dout.Err == nil || dout.Err.Code != sched.ErrCodeBadRequest {
+		t.Fatalf("out-of-order delta: status %d payload %+v", code, dout)
+	}
+	if _, got := sessionSolve(t, ts.URL, id); got.Err != nil || len(got.Schedule.Slots) != 1 {
+		t.Fatalf("session mutated by rejected deltas: %+v", got)
+	}
+
+	// Offline sessions are unaffected: removals still work, and their
+	// solves carry no ratio.
+	_, off := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Jobs: []sched.Job{{Release: 0, Deadline: 2}},
+	})
+	code, dout = sessionDo(t, "POST", ts.URL+"/v1/session/"+off.Session+"/delta", sched.SessionDeltaRequest{Remove: []int{off.JobIDs[0]}})
+	if code != http.StatusOK || dout.Err != nil {
+		t.Fatalf("offline remove: status %d payload %+v", code, dout)
+	}
+	if _, got := sessionSolve(t, ts.URL, off.Session); got.Err != nil || got.CompetitiveRatio != 0 {
+		t.Fatalf("offline solve carries ratio %v", got.CompetitiveRatio)
+	}
+}
+
+// TestSessionOnlineInfeasibleOverWire: a committed deadline miss
+// surfaces as the infeasible wire code on solve.
+func TestSessionOnlineInfeasibleOverWire(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, out := sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+		Online: true,
+		Jobs:   []sched.Job{{Release: 0, Deadline: 0}, {Release: 0, Deadline: 0}},
+	})
+	code, got := sessionSolve(t, ts.URL, out.Session)
+	if code != http.StatusUnprocessableEntity || got.Err == nil || got.Err.Code != sched.ErrCodeInfeasible {
+		t.Fatalf("overloaded online solve: status %d payload %+v", code, got)
+	}
+}

@@ -14,8 +14,16 @@ import (
 )
 
 // OneInterval draws n jobs with releases uniform in [0, horizon) and
-// window lengths uniform in [1, maxWindow].
+// window lengths uniform in [1, maxWindow]. Non-positive horizon or
+// maxWindow is clamped to 1 (cmd/gapgen forwards user flags straight
+// in, and rand.Intn panics on ≤ 0).
 func OneInterval(rng *rand.Rand, n, horizon, maxWindow int) sched.Instance {
+	if horizon < 1 {
+		horizon = 1
+	}
+	if maxWindow < 1 {
+		maxWindow = 1
+	}
 	jobs := make([]sched.Job, n)
 	for i := range jobs {
 		a := rng.Intn(horizon)
@@ -46,9 +54,21 @@ func FeasibleOneInterval(rng *rand.Rand, n, p, horizon, maxWindow int) sched.Ins
 // Bursty draws jobs clustered into the given number of bursts: a model of
 // the event-driven device workloads (sensors, phones) in the paper's
 // introduction. Each burst occupies a narrow window of the horizon.
+// Out-of-range parameters are clamped to the smallest meaningful value
+// (horizon and maxWindow to 1, burstSpread to 0) instead of panicking
+// in rand.Intn.
 func Bursty(rng *rand.Rand, n, bursts, horizon, burstSpread, maxWindow int) sched.Instance {
 	if bursts < 1 {
 		bursts = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	if burstSpread < 0 {
+		burstSpread = 0
+	}
+	if maxWindow < 1 {
+		maxWindow = 1
 	}
 	centers := make([]int, bursts)
 	for b := range centers {
@@ -66,8 +86,14 @@ func Bursty(rng *rand.Rand, n, bursts, horizon, burstSpread, maxWindow int) sche
 
 // Periodic draws jobs released every period units with jitter, each with
 // slack extra time units before its deadline: a duty-cycling sensor
-// workload.
+// workload. Negative jitter or slack is clamped to 0.
 func Periodic(rng *rand.Rand, n, period, jitter, slack int) sched.Instance {
+	if jitter < 0 {
+		jitter = 0
+	}
+	if slack < 0 {
+		slack = 0
+	}
 	jobs := make([]sched.Job, n)
 	for i := range jobs {
 		a := i*period + rng.Intn(jitter+1)

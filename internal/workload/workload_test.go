@@ -151,3 +151,54 @@ func TestStressProfilesShape(t *testing.T) {
 		t.Errorf("bursty decomposed into %d fragments, want 4 clusters", got)
 	}
 }
+
+// TestGeneratorEdgeParams: out-of-range sizes are clamped instead of
+// panicking in rand.Intn — cmd/gapgen forwards user flags straight in.
+func TestGeneratorEdgeParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		gen  func() int // returns the job count
+	}{
+		{"oneinterval horizon=0", func() int { return len(OneInterval(rng, 4, 0, 3).Jobs) }},
+		{"oneinterval horizon=-7", func() int { return len(OneInterval(rng, 4, -7, 3).Jobs) }},
+		{"oneinterval maxWindow=0", func() int { return len(OneInterval(rng, 4, 10, 0).Jobs) }},
+		{"oneinterval maxWindow=-1", func() int { return len(OneInterval(rng, 4, 10, -1).Jobs) }},
+		{"oneinterval n=0", func() int { return len(OneInterval(rng, 0, 10, 3).Jobs) }},
+		{"bursty bursts=0", func() int { return len(Bursty(rng, 4, 0, 20, 3, 4).Jobs) }},
+		{"bursty horizon=0", func() int { return len(Bursty(rng, 4, 2, 0, 3, 4).Jobs) }},
+		{"bursty horizon=-3", func() int { return len(Bursty(rng, 4, 2, -3, 3, 4).Jobs) }},
+		{"bursty burstSpread=-1", func() int { return len(Bursty(rng, 4, 2, 20, -1, 4).Jobs) }},
+		{"bursty maxWindow=0", func() int { return len(Bursty(rng, 4, 2, 20, 3, 0).Jobs) }},
+		{"bursty maxWindow=-5", func() int { return len(Bursty(rng, 4, 2, 20, 3, -5).Jobs) }},
+		{"bursty all minimal", func() int { return len(Bursty(rng, 4, 0, 0, -1, 0).Jobs) }},
+		{"periodic jitter=-1", func() int { return len(Periodic(rng, 4, 3, -1, 1).Jobs) }},
+		{"periodic slack=-2", func() int { return len(Periodic(rng, 4, 3, 1, -2).Jobs) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panicked: %v", r)
+				}
+			}()
+			want := 4
+			if tc.name == "oneinterval n=0" {
+				want = 0
+			}
+			if got := tc.gen(); got != want {
+				t.Fatalf("generated %d jobs, want %d", got, want)
+			}
+		})
+	}
+	// Clamped instances still hold valid jobs.
+	if err := OneInterval(rng, 6, 0, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Bursty(rng, 6, 0, 0, -2, -2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Periodic(rng, 6, 2, -1, -1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,14 +11,25 @@ package gapsched
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/incr"
+	"repro/internal/online"
 	"repro/internal/sched"
 )
 
 // ErrSessionClosed is returned by every operation on a closed Session.
 var ErrSessionClosed = errors.New("gapsched: session closed")
+
+// ErrCommitOnly is returned by Remove on online sessions: commitments
+// are irrevocable, so the live job set only ever grows.
+var ErrCommitOnly = errors.New("gapsched: online session is commit-only")
+
+// ErrReleaseOrder is returned by Add on online sessions when a job
+// arrives out of release order (its release precedes an earlier
+// arrival's). It is internal/online's sentinel, re-exported.
+var ErrReleaseOrder = online.ErrReleaseOrder
 
 // Session is a stateful incremental solver: a live job set plus its
 // forced-idle fragment decomposition, maintained under deltas so that
@@ -37,6 +48,7 @@ type Session struct {
 	solver Solver
 	cache  *FragmentCache
 	tr     *incr.Tracker
+	onl    *online.Scheduler // non-nil for commit-only online sessions
 	closed bool
 }
 
@@ -78,10 +90,50 @@ func (s Solver) Open(procs int) (*Session, error) {
 	}, nil
 }
 
+// OpenOnline starts a commit-only online session on procs processors
+// (0 means 1): jobs are revealed with Add in release order, each
+// arrival irrevocably commits every time unit before its release —
+// eager-EDF assignments, with idle periods priced by the α-threshold
+// ski-rental rule for ObjectivePower (internal/online) — and Resolve
+// returns the online run's schedule over the revealed prefix together
+// with its measured competitive ratio against the prefix's offline
+// optimum. The offline mirror re-solves through this Solver in
+// ModeAuto regardless of s.Mode, so the certificate LowerBound keeps
+// the ratio honest even when the prefix outgrows the exact tier.
+// Remove returns ErrCommitOnly: the commitments cannot be revisited.
+func (s Solver) OpenOnline(procs int) (*Session, error) {
+	mirror := s
+	mirror.Mode = ModeAuto
+	ss, err := mirror.Open(procs)
+	if err != nil {
+		return nil, err
+	}
+	if procs == 0 {
+		procs = 1
+	}
+	ss.onl, err = online.NewScheduler(online.Config{
+		Procs: procs,
+		Alpha: s.Alpha,
+		Power: s.Objective == ObjectivePower,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
 // Add inserts a job into the live instance and returns its id, the
 // handle Remove takes. Ids are assigned in arrival order and never
 // reused. Only the fragments whose covered regions the job touches or
 // bridges are marked dirty.
+//
+// On an online session, Add is the revelation step: jobs must arrive
+// in non-decreasing release order (ErrReleaseOrder otherwise — the
+// rejected job is not admitted), and each Add first commits every time
+// unit before the job's release, irrevocably. A commitment that
+// misses a deadline makes the session permanently infeasible — Resolve
+// keeps returning ErrInfeasible — but later Adds still succeed: the
+// revealed job set remains well-defined.
 func (ss *Session) Add(j Job) (int, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -91,22 +143,47 @@ func (ss *Session) Add(j Job) (int, error) {
 	if !j.Valid() {
 		return 0, fmt.Errorf("gapsched: job has empty window [%d,%d]", j.Release, j.Deadline)
 	}
+	if ss.onl != nil {
+		if _, _, err := ss.onl.Step(j.Release, []sched.Job{j}); err != nil {
+			return 0, err
+		}
+	}
+	// For online sessions the tracker mirrors the scheduler's job set;
+	// both assign sequential ids in arrival order, so the ids agree.
 	return ss.tr.Add(j), nil
 }
 
 // Remove deletes the job with the given id. Only the fragment that
 // contained the job is re-decomposed (it may split); everything else
-// keeps its solved result.
+// keeps its solved result. Online sessions are commit-only and return
+// ErrCommitOnly.
 func (ss *Session) Remove(id int) error {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.closed {
 		return ErrSessionClosed
 	}
+	if ss.onl != nil {
+		return ErrCommitOnly
+	}
 	if !ss.tr.Remove(id) {
 		return fmt.Errorf("gapsched: session has no job %d", id)
 	}
 	return nil
+}
+
+// Online reports whether the session is commit-only (opened with
+// OpenOnline) and, if so, the arrival watermark: the earliest release
+// the next Add may carry (math.MinInt before the first Add). Callers
+// that need a delta to apply atomically pre-validate arrival order
+// against it.
+func (ss *Session) Online() (watermark int, online bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed || ss.onl == nil {
+		return math.MinInt, false
+	}
+	return ss.onl.Watermark(), true
 }
 
 // Len returns the number of live jobs; 0 after Close.
@@ -166,6 +243,9 @@ func (ss *Session) Resolve() (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
+	if ss.onl != nil {
+		return ss.resolveOnline(counts)
+	}
 	if err := schedule.Validate(ss.tr.Instance()); err != nil {
 		return Solution{}, err
 	}
@@ -183,6 +263,48 @@ func (ss *Session) Resolve() (Solution, error) {
 		HeuristicFragments: counts.HeuristicFragments,
 	}
 	ss.rt.finish(&sol, cost)
+	return sol, nil
+}
+
+// resolveOnline finishes an online Resolve, with the lock held and the
+// offline mirror freshly resolved (counts). The returned Solution
+// carries the online run's schedule — the committed prefix extended by
+// a projected run-out over the revealed jobs — its cost, and the
+// measured competitive ratio against the mirror's certified
+// LowerBound: onlineCost ≥ OPT ≥ LowerBound, so the ratio is ≥ 1 and
+// never understated.
+func (ss *Session) resolveOnline(counts incr.Counts) (Solution, error) {
+	proj, err := ss.onl.Project()
+	if err != nil {
+		// By EDF's feasibility-optimality this happens only when the
+		// revealed instance itself is infeasible; report it exactly as
+		// the offline path does.
+		return Solution{}, ErrInfeasible
+	}
+	if err := proj.Schedule.Validate(ss.tr.Instance()); err != nil {
+		return Solution{}, err
+	}
+	acct := ss.onl.Accounting()
+	sol := Solution{
+		Schedule:           proj.Schedule,
+		States:             counts.States,
+		PrunedStates:       counts.PrunedStates,
+		ExpandedStates:     counts.ExpandedStates,
+		Subinstances:       ss.tr.Fragments(),
+		CacheHits:          counts.CacheHits,
+		ResolvedFragments:  counts.Resolved,
+		ReusedFragments:    counts.Reused,
+		Mode:               ModeAuto, // the mirror's tier
+		LowerBound:         counts.LowerBound,
+		HeuristicFragments: counts.HeuristicFragments,
+		CommittedJobs:      acct.Committed,
+		CommittedCost:      acct.Cost,
+		CompetitiveRatio:   1,
+	}
+	ss.rt.finish(&sol, proj.Cost)
+	if counts.LowerBound > 0 {
+		sol.CompetitiveRatio = proj.Cost / counts.LowerBound
+	}
 	return sol, nil
 }
 

@@ -1,0 +1,203 @@
+package gapsched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestOnlineSessionAdversarialRatio: on the §1 adversarial family the
+// online tier pays n spans against an offline optimum of 1, so the
+// measured competitive ratio is exactly n (the mirror solves the
+// prefix exactly at these sizes, so LowerBound = OPT = 1).
+func TestOnlineSessionAdversarialRatio(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		ss, err := Solver{}.OpenOnline(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range workload.OnlineLowerBound(n).Jobs {
+			if _, err := ss.Add(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sol, err := ss.Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Spans != n {
+			t.Fatalf("n=%d: online run has %d spans, want %d", n, sol.Spans, n)
+		}
+		if sol.LowerBound != 1 {
+			t.Fatalf("n=%d: mirror LowerBound %v, want 1", n, sol.LowerBound)
+		}
+		if sol.CompetitiveRatio != float64(n) {
+			t.Fatalf("n=%d: CompetitiveRatio %v, want %d", n, sol.CompetitiveRatio, n)
+		}
+		ss.Close()
+	}
+}
+
+// TestOnlineSessionRatioHonest: across random release-ordered streams,
+// on both objectives, every mid-stream Resolve reports a validated
+// schedule whose cost is ≥ the exact offline optimum of the revealed
+// prefix, and a CompetitiveRatio ≥ 1.
+func TestOnlineSessionRatioHonest(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, cfg := range []Solver{{}, {Objective: ObjectivePower, Alpha: 2.5}} {
+		for trial := 0; trial < 60; trial++ {
+			p := 1 + rng.Intn(2)
+			in := workload.Multiproc(rng, 1+rng.Intn(8), p, 1+rng.Intn(20), 1+rng.Intn(5))
+			jobs := append([]sched.Job(nil), in.Jobs...)
+			sort.SliceStable(jobs, func(x, y int) bool { return jobs[x].Release < jobs[y].Release })
+			ss, err := cfg.OpenOnline(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infeasible := false
+			for _, j := range jobs {
+				if _, err := ss.Add(j); err != nil {
+					t.Fatalf("Add(%+v): %v", j, err)
+				}
+				sol, err := ss.Resolve()
+				if err != nil {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatal(err)
+					}
+					infeasible = true
+					continue
+				}
+				if infeasible {
+					t.Fatal("session recovered from infeasibility with no job removed")
+				}
+				opt, err := cfg.Solve(ss.Instance())
+				if err != nil {
+					t.Fatalf("offline prefix solve: %v", err)
+				}
+				online, optCost := cfg.Objective.Cost(sol), cfg.Objective.Cost(opt)
+				if online < optCost-1e-9 {
+					t.Fatalf("online cost %v beats offline optimum %v", online, optCost)
+				}
+				if sol.CompetitiveRatio < 1-1e-12 {
+					t.Fatalf("CompetitiveRatio %v < 1", sol.CompetitiveRatio)
+				}
+				if sol.Mode != ModeAuto {
+					t.Fatalf("online mirror mode %v, want auto", sol.Mode)
+				}
+			}
+			ss.Close()
+		}
+	}
+}
+
+// TestOnlineSessionCommitOnly: Remove is rejected, out-of-order Adds
+// are rejected without being admitted, and the watermark tracks the
+// last arrival.
+func TestOnlineSessionCommitOnly(t *testing.T) {
+	ss, err := Solver{}.OpenOnline(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if wm, online := ss.Online(); !online || wm != math.MinInt {
+		t.Fatalf("Online() = (%d, %v) before first Add", wm, online)
+	}
+	id, err := ss.Add(Job{Release: 5, Deadline: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Remove(id); !errors.Is(err, ErrCommitOnly) {
+		t.Fatalf("Remove on online session: %v, want ErrCommitOnly", err)
+	}
+	if _, err := ss.Add(Job{Release: 3, Deadline: 9}); !errors.Is(err, ErrReleaseOrder) {
+		t.Fatalf("out-of-order Add: %v, want ErrReleaseOrder", err)
+	}
+	if ss.Len() != 1 {
+		t.Fatalf("rejected Add was admitted: Len %d", ss.Len())
+	}
+	if wm, online := ss.Online(); !online || wm != 5 {
+		t.Fatalf("Online() = (%d, %v), want (5, true)", wm, online)
+	}
+	sol, err := ss.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CompetitiveRatio != 1 || sol.Spans != 1 {
+		t.Fatalf("singleton prefix: ratio %v spans %d", sol.CompetitiveRatio, sol.Spans)
+	}
+	// The sole job is not yet committed: its unit lies at the frontier.
+	if sol.CommittedJobs != 0 || sol.CommittedCost != 0 {
+		t.Fatalf("nothing is committed yet: %d jobs / cost %v", sol.CommittedJobs, sol.CommittedCost)
+	}
+	if _, err := ss.Add(Job{Release: 40, Deadline: 41}); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = ss.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.CommittedJobs != 1 {
+		t.Fatalf("first job should be committed after time advanced: %+v", sol.CommittedJobs)
+	}
+	// An offline session reports not-online.
+	off, err := Solver{}.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if _, online := off.Online(); online {
+		t.Fatal("offline session claims to be online")
+	}
+}
+
+// TestOnlineSessionInfeasibleIsSticky: a committed deadline miss makes
+// every later Resolve infeasible, while Adds continue to be accepted.
+func TestOnlineSessionInfeasibleIsSticky(t *testing.T) {
+	ss, err := Solver{}.OpenOnline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := ss.Add(Job{Release: 0, Deadline: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ss.Add(Job{Release: 10, Deadline: 12}); err != nil {
+		t.Fatalf("Add after miss: %v", err)
+	}
+	if _, err := ss.Resolve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Resolve: %v, want ErrInfeasible", err)
+	}
+	if ss.Len() != 3 {
+		t.Fatalf("Len %d, want 3", ss.Len())
+	}
+}
+
+// TestOnlineSessionEmptyAndClosed: zero-job Resolve works; closed
+// sessions answer like offline ones.
+func TestOnlineSessionEmptyAndClosed(t *testing.T) {
+	ss, err := Solver{}.OpenOnline(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := ss.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Spans != 0 || sol.CompetitiveRatio != 1 {
+		t.Fatalf("empty resolve: %+v", sol)
+	}
+	ss.Close()
+	if _, err := ss.Add(Job{Release: 0, Deadline: 1}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Add after Close: %v", err)
+	}
+	if _, online := ss.Online(); online {
+		t.Fatal("closed session claims to be online")
+	}
+}

@@ -194,6 +194,19 @@ type Solution struct {
 	// tier; 0 for ModeExact, Subinstances for ModeHeuristic, and
 	// in between for ModeAuto on mixed instances.
 	HeuristicFragments int
+	// CompetitiveRatio, CommittedJobs, and CommittedCost are set by
+	// Resolve on online (commit-only) sessions and zero everywhere
+	// else. CompetitiveRatio is the measured ratio of the online run's
+	// cost over the revealed prefix (committed units plus the current
+	// run-out) to the certified LowerBound of the same prefix's offline
+	// optimum — the certificate keeps the ratio honest (never
+	// understated) even when the mirror solve is heuristic. It is ≥ 1
+	// up to the certificate's slack. CommittedJobs counts the jobs
+	// placed irrevocably; CommittedCost is the committed prefix's cost
+	// in the objective's units.
+	CompetitiveRatio float64
+	CommittedJobs    int
+	CommittedCost    float64
 	// PrunedStates counts exact-tier DP subproblems answered by the
 	// branch-and-bound lower bound without being expanded, summed over
 	// fragments. ExpandedStates counts the subproblems the recursion
