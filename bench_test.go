@@ -1,6 +1,6 @@
 package gapsched
 
-// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E22),
+// Benchmarks regenerating every experiment of DESIGN.md §4 (E1–E23),
 // one benchmark per table/figure. Run with:
 //
 //	go test -bench=. -benchmem
@@ -25,6 +25,7 @@ import (
 	"repro/internal/greedysp"
 	"repro/internal/multiinterval"
 	"repro/internal/online"
+	"repro/internal/poly"
 	"repro/internal/powerdown"
 	"repro/internal/reduction"
 	"repro/internal/restart"
@@ -507,12 +508,16 @@ func BenchmarkE20_HeuristicTier(b *testing.B) {
 		// The big fragment must stay above the pruning-discounted default
 		// budget so the mix is genuinely mixed; n=400 dense is admitted
 		// to the exact tier nowadays (BenchmarkE21_BoundedExact covers
-		// that class), so the wall here is n=800.
+		// that class), so the wall here is n=800. The polynomial backend
+		// is ablated (PolyBudget −1) because it would otherwise solve the
+		// n=800 single-processor fragment exactly — this lane benches the
+		// dp+heuristic mix; BenchmarkE23_PolyBackend benches the poly
+		// route.
 		for _, j := range workload.StressDense(rng, 800, 1).Jobs {
 			jobs = append(jobs, sched.Job{Release: j.Release + 2400, Deadline: j.Deadline + 2400})
 		}
 		in := NewInstance(jobs)
-		auto := Solver{Mode: ModeAuto}
+		auto := Solver{Mode: ModeAuto, PolyBudget: -1}
 		for i := 0; i < b.N; i++ {
 			sol, err := auto.Solve(in)
 			if err != nil {
@@ -662,6 +667,68 @@ func BenchmarkE22_OnlineTier(b *testing.B) {
 			ratio += sol.CompetitiveRatio
 		}
 		b.ReportMetric(ratio/float64(b.N), "ratio/op")
+	})
+}
+
+// BenchmarkE23_PolyBackend: the polynomial single-machine exact
+// backend head to head with the index-space DP engine on the dense
+// single-processor class — the two are the same dynamic program at
+// p = 1, so the expanded/op metrics must agree — plus the ModeAuto
+// lane the backend unlocks: a mixed instance whose n=2000 dense
+// fragment sits far beyond the DP tier's discounted admission bound
+// and used to fall to the heuristic, now solved exactly by poly under
+// the default budgets. The lane asserts the certificate (the big
+// fragment on poly, nothing heuristic) so an admission regression
+// fails loudly rather than silently benching the heuristic.
+func BenchmarkE23_PolyBackend(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	dense := workload.StressDense(rng, 400, 1)
+	b.Run("dp/dense/n=400", func(b *testing.B) {
+		expanded := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.SolveGaps(dense)
+			if err != nil {
+				b.Fatal(err)
+			}
+			expanded += res.ExpandedStates
+		}
+		b.ReportMetric(float64(expanded)/float64(b.N), "expanded/op")
+	})
+	b.Run("poly/dense/n=400", func(b *testing.B) {
+		expanded := 0
+		for i := 0; i < b.N; i++ {
+			res, err := poly.SolveGaps(dense)
+			if err != nil {
+				b.Fatal(err)
+			}
+			expanded += res.ExpandedStates
+		}
+		b.ReportMetric(float64(expanded)/float64(b.N), "expanded/op")
+	})
+	b.Run("auto-poly/dense/n=2000", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(23))
+		var jobs []sched.Job
+		for c := 0; c < 8; c++ {
+			for k := 0; k < 6; k++ {
+				r := c*200 + k + rng.Intn(3)
+				jobs = append(jobs, sched.Job{Release: r, Deadline: r + 2 + rng.Intn(4)})
+			}
+		}
+		for _, j := range workload.StressDense(rng, 2000, 1).Jobs {
+			jobs = append(jobs, sched.Job{Release: j.Release + 1600, Deadline: j.Deadline + 1600})
+		}
+		in := NewInstance(jobs)
+		auto := Solver{Mode: ModeAuto}
+		for i := 0; i < b.N; i++ {
+			sol, err := auto.Solve(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.PolyFragments != 1 || sol.HeuristicFragments != 0 {
+				b.Fatalf("auto tiers poly=%d heur=%d, want the dense fragment on poly",
+					sol.PolyFragments, sol.HeuristicFragments)
+			}
+		}
 	})
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feas"
+	"repro/internal/poly"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -438,6 +439,60 @@ func FuzzOnlineCommit(f *testing.F) {
 				}
 			}
 			ss.Close()
+		}
+	})
+}
+
+// FuzzPolyExact certifies the polynomial single-machine backend against
+// the index-space DP engine bit for bit on every decodable instance,
+// forced single-processor (the backend's domain), both objectives:
+// identical feasibility verdicts, identical optimal costs (dyadic α
+// keeps the float sums exact, so equality is exact equality), and
+// slot-identical schedules — the equivalence ModeAuto's three-way gate
+// relies on when it swaps one exact backend for the other.
+func FuzzPolyExact(f *testing.F) {
+	seedFuzzCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, alpha, ok := decodeFuzzInstance(data)
+		if !ok {
+			t.Skip()
+		}
+		in.Procs = 1
+
+		pg, polyErr := poly.SolveGaps(in)
+		cg, coreErr := core.SolveGaps(in)
+		if (polyErr == nil) != (coreErr == nil) {
+			t.Fatalf("gaps feasibility disagreement: poly %v, core %v (jobs %v)", polyErr, coreErr, in.Jobs)
+		}
+		if polyErr != nil {
+			if !errors.Is(polyErr, poly.ErrInfeasible) {
+				t.Fatalf("poly gaps failed with %v, want ErrInfeasible", polyErr)
+			}
+		} else {
+			if pg.Cost != float64(cg.Spans) || !reflect.DeepEqual(pg.Schedule, cg.Schedule) {
+				t.Fatalf("poly gaps %v differs from core %d (jobs %v)", pg.Cost, cg.Spans, in.Jobs)
+			}
+			if err := pg.Schedule.Validate(in); err != nil {
+				t.Fatalf("poly gaps schedule invalid: %v (jobs %v)", err, in.Jobs)
+			}
+		}
+
+		pp, polyErr := poly.SolvePower(in, alpha)
+		cp, coreErr := core.SolvePower(in, alpha)
+		if (polyErr == nil) != (coreErr == nil) {
+			t.Fatalf("power feasibility disagreement: poly %v, core %v (jobs %v α=%v)", polyErr, coreErr, in.Jobs, alpha)
+		}
+		if polyErr != nil {
+			if !errors.Is(polyErr, poly.ErrInfeasible) {
+				t.Fatalf("poly power failed with %v, want ErrInfeasible", polyErr)
+			}
+			return
+		}
+		if pp.Cost != cp.Power || !reflect.DeepEqual(pp.Schedule, cp.Schedule) {
+			t.Fatalf("poly power %v differs from core %v (jobs %v α=%v)", pp.Cost, cp.Power, in.Jobs, alpha)
+		}
+		if err := pp.Schedule.Validate(in); err != nil {
+			t.Fatalf("poly power schedule invalid: %v (jobs %v α=%v)", err, in.Jobs, alpha)
 		}
 	})
 }

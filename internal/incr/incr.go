@@ -42,10 +42,12 @@ import (
 // callback handed to Resolve. Schedule is fragment-local: zero-based
 // times, slots aligned with the fragment's jobs in id order. LB is the
 // fragment's certified lower bound (the optimal cost itself when the
-// fragment was solved exactly) and Heur marks heuristic-tier results;
-// both are stored with the fragment so reuse keeps the session's
-// aggregate certificate exact. Hit reports a fragment-cache hit
-// (informational). Err is typically the engine's infeasibility error.
+// fragment was solved exactly), Heur marks heuristic-tier results, and
+// Poly marks exact solves by the polynomial single-machine backend;
+// all are stored with the fragment so reuse keeps the session's
+// aggregate certificate and backend accounting exact. Hit reports a
+// fragment-cache hit (informational). Err is typically the engine's
+// infeasibility error.
 type Result struct {
 	Cost     float64
 	Schedule sched.Schedule
@@ -54,6 +56,7 @@ type Result struct {
 	Expanded int // DP states the fragment's exact solve expanded
 	LB       float64
 	Heur     bool
+	Poly     bool
 	Hit      bool
 	Err      error
 }
@@ -249,8 +252,10 @@ type Counts struct {
 	// fragment time order, matching the one-shot facade's accounting.
 	LowerBound float64
 	// HeuristicFragments counts the fragments whose current stored
-	// result came from the heuristic tier.
+	// result came from the heuristic tier; PolyFragments those served
+	// by the polynomial single-machine backend.
 	HeuristicFragments int
+	PolyFragments      int
 }
 
 // Resolve brings the solution up to date: dirty fragments are solved
@@ -286,6 +291,9 @@ func (t *Tracker) Resolve(solve func(sched.Instance) Result) (cost float64, s sc
 		c.LowerBound += f.res.LB
 		if f.res.Heur {
 			c.HeuristicFragments++
+		}
+		if f.res.Poly {
+			c.PolyFragments++
 		}
 		if f.res.Err != nil {
 			return 0, sched.Schedule{}, c, f.res.Err

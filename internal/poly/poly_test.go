@@ -1,0 +1,165 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// randInstance draws a single-processor fragment: n jobs with windows
+// of slack ≤ maxSlack over a horizon of maxT.
+func randInstance(rng *rand.Rand, n, maxT, maxSlack int) sched.Instance {
+	jobs := make([]sched.Job, n)
+	for i := range jobs {
+		r := rng.Intn(maxT)
+		jobs[i] = sched.Job{Release: r, Deadline: r + rng.Intn(maxSlack+1)}
+	}
+	return sched.Instance{Jobs: jobs, Procs: 1}
+}
+
+// TestGapsMatchesCore certifies poly ≡ dp on the span objective:
+// identical costs, identical schedules, identical error identity,
+// over randomized single-processor fragments.
+func TestGapsMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		in := randInstance(rng, 1+rng.Intn(9), 14, 4)
+		want, wantErr := core.SolveGaps(in)
+		got, gotErr := SolveGaps(in)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: core err %v, poly err %v (jobs %v)", trial, wantErr, gotErr, in.Jobs)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrInfeasible) {
+				t.Fatalf("trial %d: poly err %v, want ErrInfeasible", trial, gotErr)
+			}
+			continue
+		}
+		if got.Cost != float64(want.Spans) {
+			t.Fatalf("trial %d: poly cost %v, core spans %d (jobs %v)", trial, got.Cost, want.Spans, in.Jobs)
+		}
+		if got.Schedule.Spans() != want.Spans {
+			t.Fatalf("trial %d: poly schedule spans %d, want %d", trial, got.Schedule.Spans(), want.Spans)
+		}
+		if err := got.Schedule.Validate(in); err != nil {
+			t.Fatalf("trial %d: poly schedule invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestPowerMatchesCore certifies poly ≡ dp on the power objective at
+// dyadic alphas, where float sums are exact and equality is exact
+// equality.
+func TestPowerMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		in := randInstance(rng, 1+rng.Intn(8), 12, 4)
+		alpha := float64(rng.Intn(9)) / 2
+		want, wantErr := core.SolvePower(in, alpha)
+		got, gotErr := SolvePower(in, alpha)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: core err %v, poly err %v (jobs %v α=%v)", trial, wantErr, gotErr, in.Jobs, alpha)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got.Cost != want.Power {
+			t.Fatalf("trial %d: poly power %v, core power %v (jobs %v α=%v)", trial, got.Cost, want.Power, in.Jobs, alpha)
+		}
+		if pc := got.Schedule.PowerCost(alpha); pc != want.Power {
+			t.Fatalf("trial %d: poly schedule power %v, want %v", trial, pc, want.Power)
+		}
+		if err := got.Schedule.Validate(in); err != nil {
+			t.Fatalf("trial %d: poly schedule invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestNoPruneIdentity certifies that branch-and-bound pruning changes
+// neither costs nor schedules, and that the NoPrune run keeps
+// PrunedStates at 0.
+func TestNoPruneIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		in := randInstance(rng, 1+rng.Intn(8), 12, 3)
+		alpha := float64(rng.Intn(7)) / 2
+		for _, obj := range []string{"gaps", "power"} {
+			run := func(opts Options) (Result, error) {
+				if obj == "gaps" {
+					return SolveGapsOpt(in, opts)
+				}
+				return SolvePowerOpt(in, alpha, opts)
+			}
+			pruned, prunedErr := run(Options{})
+			full, fullErr := run(Options{NoPrune: true})
+			if (prunedErr == nil) != (fullErr == nil) {
+				t.Fatalf("trial %d %s: pruned err %v, full err %v", trial, obj, prunedErr, fullErr)
+			}
+			if prunedErr != nil {
+				continue
+			}
+			if full.PrunedStates != 0 {
+				t.Fatalf("trial %d %s: NoPrune run pruned %d states", trial, obj, full.PrunedStates)
+			}
+			if pruned.Cost != full.Cost {
+				t.Fatalf("trial %d %s: pruned cost %v, full cost %v", trial, obj, pruned.Cost, full.Cost)
+			}
+			for i, a := range pruned.Schedule.Slots {
+				if a != full.Schedule.Slots[i] {
+					t.Fatalf("trial %d %s: schedules differ at job %d: %v vs %v", trial, obj, i, a, full.Schedule.Slots[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	j := sched.Job{Release: 0, Deadline: 3}
+	cases := []struct {
+		in   sched.Instance
+		want bool
+	}{
+		{sched.Instance{Procs: 1}, true},                             // empty
+		{sched.Instance{Jobs: []sched.Job{j}, Procs: 1}, true},       // single proc
+		{sched.Instance{Jobs: []sched.Job{j}, Procs: 5}, true},       // p caps at n = 1
+		{sched.Instance{Jobs: []sched.Job{j, j}, Procs: 2}, false},   // genuinely multi-proc
+		{sched.Instance{Jobs: []sched.Job{j, j, j}, Procs: 1}, true}, // single proc, n > 1
+	}
+	for i, c := range cases {
+		if got := Admissible(c.in); got != c.want {
+			t.Fatalf("case %d: Admissible = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestMultiProcessorRejected pins the error identity for instances the
+// backend cannot serve.
+func TestMultiProcessorRejected(t *testing.T) {
+	in := sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 1}, {Release: 0, Deadline: 1}}, Procs: 2}
+	if _, err := SolveGaps(in); !errors.Is(err, ErrMultiProcessor) {
+		t.Fatalf("SolveGaps on 2 procs: %v, want ErrMultiProcessor", err)
+	}
+	if _, err := SolvePower(in, 1); !errors.Is(err, ErrMultiProcessor) {
+		t.Fatalf("SolvePower on 2 procs: %v, want ErrMultiProcessor", err)
+	}
+}
+
+// TestEstimate pins the admission signal's shape: 0 for empty, G·(n+1)
+// otherwise, monotone in the horizon.
+func TestEstimate(t *testing.T) {
+	if got := Estimate(sched.Instance{Procs: 1}); got != 0 {
+		t.Fatalf("empty estimate = %d, want 0", got)
+	}
+	small := sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 2}}, Procs: 1}
+	// One job: grid is [−1, 3] clipped to [0, 2] → G = 3; G·(n+1) = 6.
+	if got := Estimate(small); got != 6 {
+		t.Fatalf("estimate = %d, want 6", got)
+	}
+	wide := sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 200}}, Procs: 1}
+	if Estimate(wide) <= Estimate(small) {
+		t.Fatalf("estimate not monotone: wide %d ≤ small %d", Estimate(wide), Estimate(small))
+	}
+}

@@ -34,7 +34,7 @@ func StateEstimate(in sched.Instance) int {
 	if p > n {
 		p = n
 	}
-	g := gridSize(in)
+	g := GridSize(in)
 	est := g
 	for _, dim := range [...]int{g, n + 1, p + 1, p + 1, p + 1} {
 		est = satMul(est, dim)
@@ -42,10 +42,13 @@ func StateEstimate(in sched.Instance) int {
 	return est
 }
 
-// gridSize computes |grid| without materialising it: the measure of
-// the union of the clipped anchor neighbourhoods [a−n, a+n] over all
-// releases and deadlines a.
-func gridSize(in sched.Instance) int {
+// GridSize computes the size of the exact backends' candidate
+// execution grid without materialising it: the measure of the union of
+// the clipped anchor neighbourhoods [a−n, a+n] over all releases and
+// deadlines a — exactly the grid internal/core and internal/poly
+// build. Exported so backend-specific admission estimates (see
+// internal/poly.Estimate) price the same grid StateEstimate does.
+func GridSize(in sched.Instance) int {
 	n := len(in.Jobs)
 	lo, hi := in.TimeHorizon()
 	type iv struct{ lo, hi int }

@@ -63,6 +63,60 @@ func TestStateEstimateSaturates(t *testing.T) {
 	}
 }
 
+// TestStateEstimateZeroProcs: a hand-built zero-processor instance must
+// estimate finitely — the (p+1) dimensions collapse to 1 — rather than
+// panic or go negative. The decomposition never produces one, but the
+// admission gate sits on the public Solver path, where anything can
+// arrive.
+func TestStateEstimateZeroProcs(t *testing.T) {
+	in := sched.Instance{Jobs: []sched.Job{{Release: 0, Deadline: 0}}}
+	if got := StateEstimate(in); got != 2 {
+		t.Fatalf("zero-proc estimate %d, want 2 (1·1·2·1³)", got)
+	}
+	if got := StateEstimate(sched.Instance{}); got != 0 {
+		t.Fatalf("zero-everything estimate %d, want 0", got)
+	}
+}
+
+// TestSatMulNearOverflow pins the saturation boundary itself: products
+// that fit exactly stay exact, and the first product past MaxInt clamps
+// instead of wrapping negative (which would sail through any budget).
+func TestSatMulNearOverflow(t *testing.T) {
+	half := math.MaxInt / 2
+	if got := satMul(half, 2); got != half*2 {
+		t.Fatalf("satMul(MaxInt/2, 2) = %d, want exact %d", got, half*2)
+	}
+	if got := satMul(half+1, 2); got != math.MaxInt {
+		t.Fatalf("satMul(MaxInt/2+1, 2) = %d, want MaxInt saturation", got)
+	}
+	if got := satMul(math.MaxInt, 1); got != math.MaxInt {
+		t.Fatalf("satMul(MaxInt, 1) = %d, want MaxInt", got)
+	}
+	if got := satMul(math.MaxInt, 0); got != 0 {
+		t.Fatalf("satMul(MaxInt, 0) = %d, want 0", got)
+	}
+}
+
+// TestGridSizeHandValues pins the exported grid measure both exact
+// backends' admission estimates price: the clipped ±n anchor
+// neighbourhoods with overlaps merged.
+func TestGridSizeHandValues(t *testing.T) {
+	if got := GridSize(sched.Instance{}); got != 0 {
+		t.Fatalf("empty grid %d, want 0", got)
+	}
+	// One job [0,2]: anchors 0 and 2, each ±1, clipped to the horizon
+	// and merged into [0,2] → 3 grid points.
+	if got := GridSize(sched.NewInstance([]sched.Job{{Release: 0, Deadline: 2}})); got != 3 {
+		t.Fatalf("one-job grid %d, want 3", got)
+	}
+	// Two far-apart tight jobs: two disjoint clipped neighbourhoods of 3
+	// points each.
+	two := sched.NewInstance([]sched.Job{{Release: 0, Deadline: 0}, {Release: 100, Deadline: 100}})
+	if got := GridSize(two); got != 6 {
+		t.Fatalf("two-cluster grid %d, want 6", got)
+	}
+}
+
 // TestStateEstimateDeterministic: the estimate must not depend on job
 // order (fragments are canonicalized before caching, so the admission
 // decision must agree between a fragment and its canonical form).

@@ -152,8 +152,10 @@ type SolveResponse struct {
 	// reported cost.
 	LowerBound float64 `json:"lowerBound,omitempty"`
 	// HeuristicFragments counts the fragments served by the greedy
-	// tier (0 for exact solves).
+	// tier (0 for exact solves); PolyFragments those served exactly by
+	// the polynomial single-machine backend (auto mode only).
 	HeuristicFragments int `json:"heuristicFragments,omitempty"`
+	PolyFragments      int `json:"polyFragments,omitempty"`
 	// ResolvedFragments and ReusedFragments are set by session solves
 	// (/v1/session/{id}/solve): how many fragments the incremental
 	// resolve actually re-solved versus served from session state.

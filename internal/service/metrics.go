@@ -39,6 +39,15 @@ type metrics struct {
 	modeAuto      atomic.Int64
 	qualityGap    atomic.Uint64 // float64 bits of the summed gap
 
+	// Per-backend fragment accounting: every served solution adds its
+	// fragment counts to the backend that solved them — the index-space
+	// DP engine, the polynomial single-machine backend, or the greedy
+	// heuristic — so the live tier mix is visible at fragment
+	// granularity, where ModeAuto actually decides.
+	backendDP   atomic.Int64
+	backendPoly atomic.Int64
+	backendHeur atomic.Int64
+
 	// Online-tier accounting: solves served for commit-only sessions,
 	// and the most recently measured competitive ratio (a gauge — the
 	// ratio is a property of one session's revealed prefix, so summing
@@ -67,6 +76,9 @@ type metrics struct {
 func (m *metrics) countModeSolve(sol gapsched.Solution, gap float64) {
 	m.prunedStates.Add(int64(sol.PrunedStates))
 	m.expandedStates.Add(int64(sol.ExpandedStates))
+	m.backendDP.Add(int64(sol.Subinstances - sol.HeuristicFragments - sol.PolyFragments))
+	m.backendPoly.Add(int64(sol.PolyFragments))
+	m.backendHeur.Add(int64(sol.HeuristicFragments))
 	switch sol.Mode {
 	case gapsched.ModeHeuristic:
 		m.modeHeuristic.Add(1)
@@ -158,6 +170,10 @@ func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched
 		`mode="exact"`, m.modeExact.Load(),
 		`mode="heuristic"`, m.modeHeuristic.Load(),
 		`mode="auto"`, m.modeAuto.Load())
+	counter("gapschedd_backend_solves_total", "Fragments solved over served solutions, by backend: the index-space DP engine, the polynomial single-machine backend, or the greedy heuristic.",
+		`backend="dp"`, m.backendDP.Load(),
+		`backend="poly"`, m.backendPoly.Load(),
+		`backend="heuristic"`, m.backendHeur.Load())
 	fmt.Fprintf(w, "# HELP gapschedd_quality_gap_total Summed certified optimality gap (cost minus lower bound) over served solutions.\n"+
 		"# TYPE gapschedd_quality_gap_total counter\ngapschedd_quality_gap_total %g\n", m.qualityGapTotal())
 	counter("gapschedd_dp_states_total", "Exact-tier DP subproblems over served solutions, by outcome: pruned (cut by the branch-and-bound lower bound) versus expanded.",

@@ -274,6 +274,7 @@ func wireOutcome(out outcome) sched.SolveResponse {
 		Mode:               sol.Mode.String(),
 		LowerBound:         sol.LowerBound,
 		HeuristicFragments: sol.HeuristicFragments,
+		PolyFragments:      sol.PolyFragments,
 		CompetitiveRatio:   sol.CompetitiveRatio,
 		CommittedJobs:      sol.CommittedJobs,
 		CommittedCost:      sol.CommittedCost,

@@ -238,7 +238,7 @@ func (ss *Session) Resolve() (Solution, error) {
 		r := ss.solver.solveFragment(ss.rt, ss.cache, fr)
 		return incr.Result{Cost: r.cost, Schedule: r.schedule, States: r.states,
 			Pruned: r.pruned, Expanded: r.expanded,
-			LB: r.lb, Heur: r.heur, Hit: r.hit, Err: r.err}
+			LB: r.lb, Heur: r.heur, Poly: r.poly, Hit: r.hit, Err: r.err}
 	})
 	if err != nil {
 		return Solution{}, err
@@ -261,6 +261,7 @@ func (ss *Session) Resolve() (Solution, error) {
 		Mode:               ss.solver.Mode,
 		LowerBound:         counts.LowerBound,
 		HeuristicFragments: counts.HeuristicFragments,
+		PolyFragments:      counts.PolyFragments,
 	}
 	ss.rt.finish(&sol, cost)
 	return sol, nil
@@ -297,6 +298,7 @@ func (ss *Session) resolveOnline(counts incr.Counts) (Solution, error) {
 		Mode:               ModeAuto, // the mirror's tier
 		LowerBound:         counts.LowerBound,
 		HeuristicFragments: counts.HeuristicFragments,
+		PolyFragments:      counts.PolyFragments,
 		CommittedJobs:      acct.Committed,
 		CommittedCost:      acct.Cost,
 		CompetitiveRatio:   1,

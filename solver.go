@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fragcache"
 	"repro/internal/heur"
+	"repro/internal/poly"
 	"repro/internal/prep"
 	"repro/internal/sched"
 )
@@ -49,12 +50,15 @@ const (
 	// optimality gaps (Solution.LowerBound ≤ OPT ≤ cost), serving
 	// instance sizes the exact tier cannot.
 	ModeHeuristic
-	// ModeAuto picks per fragment: fragments whose estimated DP size
-	// (prep.StateEstimate) is within Solver.StateBudget are solved
-	// exactly, the rest heuristically — so mixed instances get exact
-	// answers wherever exact is affordable, and the Solution's
-	// LowerBound stays tight (exact fragments contribute their optimal
-	// cost to it).
+	// ModeAuto picks per fragment among three tiers: the index-space DP
+	// engine when the fragment's estimated DP size (prep.StateEstimate)
+	// is within Solver.StateBudget; otherwise the polynomial
+	// single-machine backend (internal/poly) when the fragment is
+	// single-processor and its own, lower-degree estimate
+	// (poly.Estimate) is within Solver.PolyBudget; the heuristic
+	// otherwise. Mixed instances thus get exact answers wherever either
+	// exact backend is affordable, and the Solution's LowerBound stays
+	// tight (exact fragments contribute their optimal cost to it).
 	ModeAuto
 )
 
@@ -102,11 +106,22 @@ func ParseMode(s string) (Mode, error) {
 // the huge fragments that would stall the engine go to the heuristic.
 const DefaultStateBudget = 1 << 25
 
+// DefaultPolyBudget is the ModeAuto admission bound for the polynomial
+// single-machine backend, used when Solver.PolyBudget is zero. The
+// backend's estimate (poly.Estimate, G·(n+1)) is a much lower-degree
+// polynomial than the index-space shape, so the same order of budget
+// admits single-processor fragments with thousands of jobs — the E23
+// crossover — while fragments large enough to stall even the
+// specialized backend still fall to the heuristic.
+const DefaultPolyBudget = 1 << 25
+
 // Solver is the configured entry point to the solving pipeline:
 // preprocessing (instance decomposition and coordinate compression, see
-// internal/prep), the solving tiers — the unified exact DP engine
-// (internal/core) and the certified greedy heuristic (internal/heur),
-// selected by Mode — an optional canonical-fragment solution cache,
+// internal/prep), the solving tiers — the exact tier with its two
+// backends, the index-space DP engine (internal/core) and the
+// polynomial single-machine DP (internal/poly), plus the certified
+// greedy heuristic (internal/heur), selected by Mode — an optional
+// canonical-fragment solution cache,
 // and, for SolveBatch, a bounded worker pool fed at fragment
 // granularity. The zero value minimizes gaps exactly with
 // preprocessing enabled and no cache.
@@ -136,14 +151,24 @@ type Solver struct {
 	// solution with a heuristic one). Takes precedence over CacheSize.
 	Cache *FragmentCache
 	// Mode selects the solving tier: ModeExact (default), ModeHeuristic,
-	// or ModeAuto, which decides per fragment using StateBudget.
+	// or ModeAuto, which decides per fragment using StateBudget and
+	// PolyBudget.
 	Mode Mode
-	// StateBudget is ModeAuto's exact-tier admission bound: a fragment
-	// is solved exactly when its estimated DP size
+	// StateBudget is ModeAuto's admission bound for the index-space DP
+	// engine: a fragment is solved there when its estimated DP size
 	// (prep.StateEstimate) is at most this. Zero means
-	// DefaultStateBudget; a negative budget sends every fragment to
-	// the heuristic. Ignored by ModeExact and ModeHeuristic.
+	// DefaultStateBudget; a negative budget disables the whole exact
+	// tier — both backends — and sends every fragment to the heuristic.
+	// Ignored by ModeExact and ModeHeuristic.
 	StateBudget int
+	// PolyBudget is ModeAuto's admission bound for the polynomial
+	// single-machine backend, consulted only for fragments the
+	// StateBudget gate rejected: such a fragment is solved by
+	// internal/poly when it is single-processor (poly.Admissible) and
+	// its backend estimate (poly.Estimate) is at most this. Zero means
+	// DefaultPolyBudget; a negative budget disables the polynomial
+	// backend. Ignored by ModeExact and ModeHeuristic.
+	PolyBudget int
 }
 
 // Solution is the unified outcome of a Solver run.
@@ -194,6 +219,13 @@ type Solution struct {
 	// tier; 0 for ModeExact, Subinstances for ModeHeuristic, and
 	// in between for ModeAuto on mixed instances.
 	HeuristicFragments int
+	// PolyFragments counts the fragments served by the polynomial
+	// single-machine backend (internal/poly) — exact solves, so they
+	// contribute their optimal cost to LowerBound like the DP engine's.
+	// Only ModeAuto routes fragments there, so this is 0 for ModeExact
+	// and ModeHeuristic; the DP engine served
+	// Subinstances − HeuristicFragments − PolyFragments.
+	PolyFragments int
 	// CompetitiveRatio, CommittedJobs, and CommittedCost are set by
 	// Resolve on online (commit-only) sessions and zero everywhere
 	// else. CompetitiveRatio is the measured ratio of the online run's
@@ -260,30 +292,64 @@ type fragSolution struct {
 	expanded int
 	lb       float64
 	heur     bool
+	poly     bool
 	err      error
 }
 
-// heurTag marks heuristic-tier entries in the cache key's tag byte, so
-// a heuristic fragment solution can never be served where an exact one
-// is expected (or vice versa) even when Solvers of different modes
-// share one FragmentCache.
-const heurTag = 0x80
+// heurTag and polyTag mark heuristic-tier and polynomial-backend
+// entries in the cache key's tag byte, so backends can never serve
+// each other's solutions even when Solvers of different modes share
+// one FragmentCache. (Poly entries are exact, but their counters —
+// states, backend attribution — differ from the DP engine's, and
+// keeping the keyspaces disjoint keeps every Solution's accounting
+// independent of who warmed the cache.)
+const (
+	heurTag = 0x80
+	polyTag = 0x40
+)
+
+// backend identifies which solver serves one fragment: the exact tier
+// is pluggable — the index-space B&B engine (internal/core) and the
+// polynomial single-machine DP (internal/poly) are two implementations
+// behind the same seam — and the certified greedy is the fallback.
+type backend int
+
+const (
+	backendDP backend = iota
+	backendPoly
+	backendHeur
+)
 
 // objectiveRuntime binds the objective- and mode-specific pieces of
 // the pipeline after the configuration has been validated once: how to
-// decompose an instance, how to solve one fragment on each tier, which
-// tier a fragment goes to, and how to interpret the accumulated cost.
-// Sharing it between Solve and SolveBatch is what makes their
-// validation and results uniform.
+// decompose an instance, how to solve one fragment on each backend,
+// which backend a fragment goes to, and how to interpret the
+// accumulated cost. Sharing it between Solve and SolveBatch is what
+// makes their validation and results uniform.
 type objectiveRuntime struct {
 	tag        byte // cache-key objective tag
 	alpha      float64
 	mode       Mode
-	budget     int // resolved ModeAuto admission bound
+	budget     int // resolved ModeAuto DP-engine admission bound
+	polyBudget int // resolved ModeAuto poly-backend admission bound
 	plan       func(sched.Instance) *prep.Plan
 	solveExact func(sched.Instance) fragSolution
+	solvePoly  func(sched.Instance) fragSolution
 	solveHeur  func(sched.Instance) fragSolution
 	finish     func(*Solution, float64)
+}
+
+// solverFor returns the solve function and cache-key tag of one
+// backend. Distinct tag bits keep the three keyspaces disjoint in a
+// shared FragmentCache.
+func (rt *objectiveRuntime) solverFor(b backend) (func(sched.Instance) fragSolution, byte) {
+	switch b {
+	case backendPoly:
+		return rt.solvePoly, rt.tag | polyTag
+	case backendHeur:
+		return rt.solveHeur, rt.tag | heurTag
+	}
+	return rt.solveExact, rt.tag
 }
 
 // autoPruneDiscount scales ModeAuto's admission estimate to reflect
@@ -296,26 +362,47 @@ type objectiveRuntime struct {
 // budgets overflow-free.
 const autoPruneDiscount = 32
 
-// heuristicTier reports whether this fragment is served by the greedy
-// tier under the configured mode. ModeAuto admits a fragment to the
-// exact tier when its estimated DP size — discounted for pruning —
-// fits the budget; the estimate depends only on the job multiset and
-// processor count, so the decision is identical for a fragment and its
-// canonical form.
-func (rt *objectiveRuntime) heuristicTier(fr sched.Instance) bool {
+// tier picks the backend serving one fragment under the configured
+// mode. ModeAuto decides three ways: the index-space DP engine when
+// the fragment's estimated DP size — discounted for pruning — fits
+// StateBudget; otherwise the polynomial backend when the fragment is
+// single-processor and its lower-degree estimate fits PolyBudget;
+// the heuristic otherwise. A negative StateBudget disables the whole
+// exact tier (both backends), preserving the established "auto with a
+// negative budget ≡ heuristic" contract. Every estimate depends only
+// on the job multiset and processor count, so the decision is
+// identical for a fragment and its canonical form.
+func (rt *objectiveRuntime) tier(fr sched.Instance) backend {
 	switch rt.mode {
 	case ModeHeuristic:
-		return true
+		return backendHeur
 	case ModeAuto:
-		return prep.StateEstimate(fr)/autoPruneDiscount > rt.budget
+		if rt.budget < 0 {
+			return backendHeur
+		}
+		if prep.StateEstimate(fr)/autoPruneDiscount <= rt.budget {
+			return backendDP
+		}
+		if rt.polyBudget >= 0 && poly.Admissible(fr) && poly.Estimate(fr) <= rt.polyBudget {
+			return backendPoly
+		}
+		return backendHeur
 	}
-	return false
+	return backendDP
 }
 
 // heurErr maps the heuristic tier's infeasibility onto the facade's
 // ErrInfeasible, so callers see one error identity regardless of tier.
 func heurErr(err error) error {
 	if errors.Is(err, heur.ErrInfeasible) {
+		return ErrInfeasible
+	}
+	return err
+}
+
+// polyErr is heurErr's analogue for the polynomial backend.
+func polyErr(err error) error {
+	if errors.Is(err, poly.ErrInfeasible) {
 		return ErrInfeasible
 	}
 	return err
@@ -337,18 +424,29 @@ func (s Solver) runtime() (objectiveRuntime, error) {
 	if budget == 0 {
 		budget = DefaultStateBudget
 	}
+	polyBudget := s.PolyBudget
+	if polyBudget == 0 {
+		polyBudget = DefaultPolyBudget
+	}
 	switch s.Objective {
 	case ObjectiveGaps:
 		return objectiveRuntime{
-			tag:    byte(ObjectiveGaps),
-			mode:   s.Mode,
-			budget: budget,
-			plan:   prep.ForGaps,
+			tag:        byte(ObjectiveGaps),
+			mode:       s.Mode,
+			budget:     budget,
+			polyBudget: polyBudget,
+			plan:       prep.ForGaps,
 			solveExact: func(fr sched.Instance) fragSolution {
 				res, err := core.SolveGaps(fr)
 				return fragSolution{cost: float64(res.Spans), schedule: res.Schedule,
 					states: res.States, pruned: res.PrunedStates, expanded: res.ExpandedStates,
 					lb: float64(res.Spans), err: err}
+			},
+			solvePoly: func(fr sched.Instance) fragSolution {
+				res, err := poly.SolveGaps(fr)
+				return fragSolution{cost: res.Cost, schedule: res.Schedule,
+					states: res.States, pruned: res.PrunedStates, expanded: res.ExpandedStates,
+					lb: res.Cost, poly: true, err: polyErr(err)}
 			},
 			solveHeur: func(fr sched.Instance) fragSolution {
 				res, err := heur.SolveGapsFragment(fr)
@@ -363,16 +461,23 @@ func (s Solver) runtime() (objectiveRuntime, error) {
 	case ObjectivePower:
 		alpha := s.Alpha
 		return objectiveRuntime{
-			tag:    byte(ObjectivePower),
-			alpha:  alpha,
-			mode:   s.Mode,
-			budget: budget,
-			plan:   func(in sched.Instance) *prep.Plan { return prep.ForPower(in, alpha) },
+			tag:        byte(ObjectivePower),
+			alpha:      alpha,
+			mode:       s.Mode,
+			budget:     budget,
+			polyBudget: polyBudget,
+			plan:       func(in sched.Instance) *prep.Plan { return prep.ForPower(in, alpha) },
 			solveExact: func(fr sched.Instance) fragSolution {
 				res, err := core.SolvePower(fr, alpha)
 				return fragSolution{cost: res.Power, schedule: res.Schedule,
 					states: res.States, pruned: res.PrunedStates, expanded: res.ExpandedStates,
 					lb: res.Power, err: err}
+			},
+			solvePoly: func(fr sched.Instance) fragSolution {
+				res, err := poly.SolvePower(fr, alpha)
+				return fragSolution{cost: res.Cost, schedule: res.Schedule,
+					states: res.States, pruned: res.PrunedStates, expanded: res.ExpandedStates,
+					lb: res.Cost, poly: true, err: polyErr(err)}
 			},
 			solveHeur: func(fr sched.Instance) fragSolution {
 				res, err := heur.SolvePowerFragment(fr, alpha)
@@ -399,6 +504,7 @@ type fragResult struct {
 	expanded int
 	lb       float64
 	heur     bool
+	poly     bool
 	hit      bool
 	err      error
 }
@@ -444,30 +550,27 @@ func (s Solver) prepare(in Instance, rt objectiveRuntime) *preparedInstance {
 	return p
 }
 
-// solveFragment solves one fragment on the tier the configured mode
-// assigns it, through the cache when one is configured. Cached solves
-// run on the canonical form of the fragment (jobs sorted in compressed
-// coordinates) and the stored schedule is mapped back through the
-// canonicalization permutation, so a hit returns a schedule of the
-// fragment as given; heuristic-tier entries carry a distinct key tag,
-// so tiers never serve each other's solutions.
+// solveFragment solves one fragment on the backend the configured
+// mode assigns it, through the cache when one is configured. Cached
+// solves run on the canonical form of the fragment (jobs sorted in
+// compressed coordinates) and the stored schedule is mapped back
+// through the canonicalization permutation, so a hit returns a
+// schedule of the fragment as given; each backend's entries carry a
+// distinct key tag, so backends never serve each other's solutions.
 func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sched.Instance) fragResult {
-	solve, tag := rt.solveExact, rt.tag
-	if rt.heuristicTier(fr) {
-		solve, tag = rt.solveHeur, rt.tag|heurTag
-	}
+	solve, tag := rt.solverFor(rt.tier(fr))
 	if cache == nil {
 		val := solve(fr)
 		return fragResult{cost: val.cost, schedule: val.schedule, states: val.states,
 			pruned: val.pruned, expanded: val.expanded,
-			lb: val.lb, heur: val.heur, err: val.err}
+			lb: val.lb, heur: val.heur, poly: val.poly, err: val.err}
 	}
 	canon, perm := prep.Canonicalize(fr)
 	key := prep.CanonicalKey(canon, tag, rt.alpha)
 	val, hit := cache.c.Do(key, func() fragSolution { return solve(canon) })
 	res := fragResult{cost: val.cost, states: val.states,
 		pruned: val.pruned, expanded: val.expanded,
-		lb: val.lb, heur: val.heur, hit: hit, err: val.err}
+		lb: val.lb, heur: val.heur, poly: val.poly, hit: hit, err: val.err}
 	if val.err == nil {
 		// Canonical job i is fragment job perm[i]; their windows agree,
 		// so rerouting the slots yields a valid fragment schedule. The
@@ -508,6 +611,9 @@ func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Soluti
 		sol.ExpandedStates += r.expanded
 		if r.heur {
 			sol.HeuristicFragments++
+		}
+		if r.poly {
+			sol.PolyFragments++
 		}
 		if r.hit {
 			sol.CacheHits++
