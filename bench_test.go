@@ -13,17 +13,20 @@ package gapsched
 // from raw nanoseconds.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/arith"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/greedysp"
 	"repro/internal/multiinterval"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/poly"
 	"repro/internal/powerdown"
@@ -749,6 +752,74 @@ func BenchmarkE15_GridAblation(b *testing.B) {
 			if _, err := core.SolveGapsOpt(in, core.Options{FullGrid: true}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkObsOverhead: cost of the observability layer on the two
+// hottest facade paths — the E1 single-instance exact solve and the
+// E17 cache-shared batch — bare versus under a context-attached trace.
+// The always-on Timings accounting is included in both variants; the
+// traced variants add per-stage span recording plus one trace
+// setup/finish per op, which is the daemon's per-dispatch shape. The
+// histogram sub-benchmark pins the cost of one Observe, the unit the
+// service pays per request and per fragment.
+func BenchmarkObsOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	one := workload.FeasibleOneInterval(rng, 8, 2, 12, 4)
+	rng = rand.New(rand.NewSource(17))
+	distinct := make([]Instance, 8)
+	for i := range distinct {
+		distinct[i] = workload.FeasibleOneInterval(rng, 10, 2, 30, 5)
+	}
+	batch := make([]Instance, 64)
+	for i := range batch {
+		batch[i] = distinct[rng.Intn(len(distinct))]
+	}
+	b.Run("solve/bare", func(b *testing.B) {
+		s := Solver{}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Solve(one); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("solve/traced", func(b *testing.B) {
+		s := Solver{}
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("bench")
+			if _, err := s.SolveContext(obs.With(context.Background(), tr), one); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish(nil)
+		}
+	})
+	b.Run("batch/bare", func(b *testing.B) {
+		s := Solver{Cache: NewFragmentCache(1 << 12)}
+		for i := 0; i < b.N; i++ {
+			for _, r := range s.SolveBatch(batch) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("batch/traced", func(b *testing.B) {
+		s := Solver{Cache: NewFragmentCache(1 << 12)}
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("bench")
+			for _, r := range s.SolveBatchContext(obs.With(context.Background(), tr), batch) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			tr.Finish(nil)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		var h obs.Histogram
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i))
 		}
 	})
 }

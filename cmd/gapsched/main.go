@@ -18,6 +18,10 @@
 // approx (Thm 3 multi-interval pipeline), naive (matching baseline),
 // throughput (Thm 11 greedy).
 //
+// The gaps and power algorithms accept -trace, which prints the solve's
+// per-stage span summary (prep, cache, per-backend solve, assemble)
+// recorded through the observability layer (internal/obs).
+//
 // The gaps and power algorithms accept -mode exact|heuristic|auto and
 // -state-budget, selecting the solving tier per fragment: heuristic
 // runs the near-linear greedy with a certified lower bound (printed
@@ -48,6 +52,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -56,9 +61,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	gapsched "repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sched"
 )
@@ -74,6 +81,7 @@ type options struct {
 	stream      bool
 	online      bool
 	quiet       bool
+	trace       bool
 }
 
 // parseArgs parses the command line with the shared CLI conventions
@@ -94,6 +102,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.BoolVar(&o.stream, "stream", false, "read job deltas line by line and resolve incrementally")
 	fs.BoolVar(&o.online, "online", false, "commit-only online session with measured competitive ratio (requires -stream)")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress the timeline rendering")
+	fs.BoolVar(&o.trace, "trace", false, "print the per-stage solve trace (gaps and power)")
 	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
 	}
@@ -164,6 +173,14 @@ func run(o options, w io.Writer) error {
 
 func runOneInterval(in sched.Instance, o options, mode gapsched.Mode, alpha float64, quiet bool, w io.Writer) error {
 	algo := o.algo
+	// -trace threads an obs.Trace through the solve, so the facade
+	// records its per-stage spans; printTrace renders them afterwards.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if o.trace && (algo == "gaps" || algo == "power") {
+		tr = obs.NewTrace(algo)
+		ctx = obs.With(ctx, tr)
+	}
 	var (
 		s   sched.Schedule
 		err error
@@ -171,7 +188,7 @@ func runOneInterval(in sched.Instance, o options, mode gapsched.Mode, alpha floa
 	switch algo {
 	case "gaps":
 		var sol gapsched.Solution
-		sol, err = gapsched.Solver{Objective: gapsched.ObjectiveGaps, Mode: mode, StateBudget: o.stateBudget}.Solve(in)
+		sol, err = gapsched.Solver{Objective: gapsched.ObjectiveGaps, Mode: mode, StateBudget: o.stateBudget}.SolveContext(ctx, in)
 		if err == nil {
 			s = sol.Schedule
 			fmt.Fprintf(w, "%s wake-ups (spans): %d   gaps: %d   DP states: %d   sub-instances: %d\n",
@@ -180,7 +197,7 @@ func runOneInterval(in sched.Instance, o options, mode gapsched.Mode, alpha floa
 		}
 	case "power":
 		var sol gapsched.Solution
-		sol, err = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha, Mode: mode, StateBudget: o.stateBudget}.Solve(in)
+		sol, err = gapsched.Solver{Objective: gapsched.ObjectivePower, Alpha: alpha, Mode: mode, StateBudget: o.stateBudget}.SolveContext(ctx, in)
 		if err == nil {
 			s = sol.Schedule
 			fmt.Fprintf(w, "%s power: %.3f (α=%.2f)   DP states: %d   sub-instances: %d\n",
@@ -206,6 +223,9 @@ func runOneInterval(in sched.Instance, o options, mode gapsched.Mode, alpha floa
 	if err != nil {
 		return err
 	}
+	if tr != nil {
+		printTrace(w, tr)
+	}
 	fmt.Fprintf(w, "power at α=%.2f: %.3f\n", alpha, s.PowerCost(alpha))
 	printAssignments(w, s)
 	if !quiet {
@@ -213,6 +233,49 @@ func runOneInterval(in sched.Instance, o options, mode gapsched.Mode, alpha floa
 		fmt.Fprint(w, power.SpanSummary(s))
 	}
 	return nil
+}
+
+// printTrace renders a solve's per-stage span summary: every recorded
+// stage (backend-tagged where a backend served it) with its span
+// count and summed duration, in pipeline order.
+func printTrace(w io.Writer, tr *obs.Trace) {
+	tr.Finish(nil)
+	d := tr.Data()
+	type agg struct {
+		count int
+		dur   time.Duration
+	}
+	type key struct{ name, backend string }
+	sums := make(map[key]agg)
+	for _, sp := range d.Spans {
+		k := key{sp.Name, sp.Backend}
+		if sp.Name == obs.StageCache {
+			k.backend = ""
+		}
+		a := sums[k]
+		a.count++
+		a.dur += sp.Dur
+		sums[k] = a
+	}
+	fmt.Fprintf(w, "trace (%v total):\n", d.Dur)
+	for _, k := range []key{
+		{obs.StagePrep, ""},
+		{obs.StageCache, ""},
+		{obs.StageSolve, "dp"},
+		{obs.StageSolve, "poly"},
+		{obs.StageSolve, "heuristic"},
+		{obs.StageAssemble, ""},
+	} {
+		a, ok := sums[k]
+		if !ok {
+			continue
+		}
+		name := k.name
+		if k.backend != "" {
+			name += "[" + k.backend + "]"
+		}
+		fmt.Fprintf(w, "  %-18s ×%-4d %v\n", name, a.count, a.dur)
+	}
 }
 
 func runMulti(mi sched.MultiInstance, algo string, alpha float64, budget int, quiet bool, w io.Writer) error {

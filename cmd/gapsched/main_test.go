@@ -334,3 +334,37 @@ func TestRunStreamModes(t *testing.T) {
 		t.Fatalf("stream exact printed certificates:\n%s", e.String())
 	}
 }
+
+// TestRunTrace: -trace on an exact solve prints the per-stage span
+// summary after the schedule; algorithms without a traced pipeline
+// stay silent.
+func TestRunTrace(t *testing.T) {
+	path := writeInstance(t, sched.File{
+		Kind:  sched.KindOneInterval,
+		Alpha: 2,
+		Instance: &sched.Instance{Procs: 1, Jobs: []sched.Job{
+			{Release: 0, Deadline: 2}, {Release: 5, Deadline: 7},
+		}},
+	})
+	o, err := parseArgs([]string{"-trace", "-input", path}, &bytes.Buffer{})
+	if err != nil || !o.trace {
+		t.Fatalf("parseArgs -trace: %+v, %v", o, err)
+	}
+	var b strings.Builder
+	if err := run(options{input: path, algo: "gaps", alpha: -1, budget: 2, trace: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"trace (", "prep", "solve[", "assemble"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace summary missing %q:\n%s", want, out)
+		}
+	}
+	var quiet strings.Builder
+	if err := run(options{input: path, algo: "greedy", alpha: -1, budget: 2, trace: true}, &quiet); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quiet.String(), "trace (") {
+		t.Fatalf("untraced algorithm printed a trace:\n%s", quiet.String())
+	}
+}

@@ -38,8 +38,9 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -59,6 +60,8 @@ type options struct {
 	cfg       service.Config
 	grace     time.Duration
 	verbose   bool
+	logLevel  string
+	logFormat string
 }
 
 // parseArgs parses the command line with the shared CLI conventions
@@ -80,10 +83,40 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.IntVar(&o.cfg.MaxSessions, "max-sessions", service.DefaultMaxSessions, "bound on open incremental sessions (negative = unlimited)")
 	fs.DurationVar(&o.grace, "grace", 10*time.Second, "graceful shutdown budget before the listener is torn down")
 	fs.BoolVar(&o.verbose, "v", false, "log every dispatch summary")
+	fs.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	fs.StringVar(&o.logFormat, "log-format", "text", "log output format: text or json")
+	fs.DurationVar(&o.cfg.SlowSolve, "slow-solve", 0, "warn with the per-stage trace for solves at least this slow (0 disables)")
+	fs.IntVar(&o.cfg.TraceRing, "trace-ring", 0, "solve traces retained for /v1/debug/traces (0 = default, negative disables)")
 	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
 	}
 	return o, nil
+}
+
+// buildLogger constructs the daemon's structured logger from the
+// -log-level and -log-format flags.
+func buildLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
 }
 
 func main() {
@@ -91,20 +124,29 @@ func main() {
 	if err != nil {
 		os.Exit(cli.Status(err))
 	}
+	logger, err := buildLogger(o.logLevel, o.logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gapschedd: %v\n", err)
+		os.Exit(2)
+	}
+	o.cfg.Logger = logger
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		log.Fatalf("gapschedd: %v", err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	var pprofLn net.Listener
 	if o.pprofAddr != "" {
 		if pprofLn, err = net.Listen("tcp", o.pprofAddr); err != nil {
-			log.Fatalf("gapschedd: pprof listener: %v", err)
+			logger.Error("pprof listen failed", "err", err)
+			os.Exit(1)
 		}
 	}
-	if err := serve(ctx, ln, pprofLn, o); err != nil {
-		log.Fatalf("gapschedd: %v", err)
+	if err := serve(ctx, ln, pprofLn, o, logger); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -127,17 +169,20 @@ func pprofHandler() http.Handler {
 // service flushes its open coalescing windows. A non-nil pprofLn gets
 // the profiling mux; it is torn down with the daemon (profiling
 // requests are diagnostics, not client traffic, so no grace is owed).
-func serve(ctx context.Context, ln, pprofLn net.Listener, o options) error {
+func serve(ctx context.Context, ln, pprofLn net.Listener, o options, logger *slog.Logger) error {
 	srv := service.New(o.cfg)
 	httpSrv := &http.Server{Handler: srv}
-	log.Printf("gapschedd: listening on %s (window %v, max batch %d, cache %d)",
-		ln.Addr(), o.cfg.Window, o.cfg.MaxBatch, o.cfg.CacheCapacity)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"window", o.cfg.Window,
+		"maxBatch", o.cfg.MaxBatch,
+		"cache", o.cfg.CacheCapacity)
 	if pprofLn != nil {
 		pprofSrv := &http.Server{Handler: pprofHandler()}
-		log.Printf("gapschedd: pprof listening on %s", pprofLn.Addr())
+		logger.Info("pprof listening", "addr", pprofLn.Addr().String())
 		go func() {
 			if err := pprofSrv.Serve(pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("gapschedd: pprof listener: %v", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
 		defer pprofSrv.Close()
@@ -158,7 +203,7 @@ func serve(ctx context.Context, ln, pprofLn net.Listener, o options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("gapschedd: shutting down")
+	logger.Info("shutting down")
 	// Flush the coalescing windows concurrently with the listener
 	// drain: buffered handlers are blocked on their window's dispatch,
 	// so the flush is what lets their connections go idle inside the
@@ -173,13 +218,18 @@ func serve(ctx context.Context, ln, pprofLn net.Listener, o options) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("gapschedd: listener shutdown: %v", err)
+		logger.Warn("listener shutdown incomplete", "err", err)
 	}
 	<-closed
 	if o.verbose {
 		st := srv.Stats()
-		log.Printf("gapschedd: served %d solve + %d batch requests in %d dispatches (%d coalesced, cache %d/%d hits/misses)",
-			st.SolveRequests, st.BatchRequests, st.Dispatches, st.Coalesced, st.Cache.Hits, st.Cache.Misses)
+		logger.Info("served",
+			"solveRequests", st.SolveRequests,
+			"batchRequests", st.BatchRequests,
+			"dispatches", st.Dispatches,
+			"coalesced", st.Coalesced,
+			"cacheHits", st.Cache.Hits,
+			"cacheMisses", st.Cache.Misses)
 	}
 	return <-errc
 }

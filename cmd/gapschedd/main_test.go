@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -61,7 +62,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, nil, o) }()
+	go func() { done <- serve(ctx, ln, nil, o, slog.New(slog.DiscardHandler)) }()
 
 	base := "http://" + ln.Addr().String()
 	awaitHealthy(t, base)
@@ -121,7 +122,7 @@ func TestServePprof(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, pprofLn, o) }()
+	go func() { done <- serve(ctx, ln, pprofLn, o, slog.New(slog.DiscardHandler)) }()
 
 	base := "http://" + ln.Addr().String()
 	awaitHealthy(t, base)

@@ -1,0 +1,143 @@
+// Package obs is the observability layer shared by the solving
+// pipeline and the daemon: lock-free latency histograms rendered in
+// Prometheus histogram exposition format, and a lightweight
+// solve-trace recorder — per-request span trees kept in a fixed-size
+// ring — that the facade fills through a context-threaded Trace and
+// the daemon serves at /v1/debug/traces. Everything here is designed
+// to sit on the hot path: Observe is a couple of atomic adds, span
+// recording is one short critical section per stage, and every
+// recording entry point is nil-receiver safe so uninstrumented calls
+// cost a single branch.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// The bucket layout: finite bucket i holds observations with duration
+// ≤ 2^i microseconds, so the boundaries run 1µs, 2µs, 4µs, … up to
+// 2^25 µs ≈ 33.6 s, and one overflow bucket catches the rest (the
+// exposition renders it as le="+Inf"). Log₂ spacing makes bucketing a
+// bit-length computation — no search, no float math — which is what
+// keeps Observe lock-free and branch-light.
+const (
+	// NumFiniteBuckets is the number of finite (non-+Inf) buckets.
+	NumFiniteBuckets = 26
+	numBuckets       = NumFiniteBuckets + 1 // + overflow ("+Inf")
+)
+
+// BucketBound returns the inclusive upper bound of finite bucket i in
+// seconds: 2^i microseconds.
+func BucketBound(i int) float64 {
+	return float64(uint64(1)<<i) * 1e-6
+}
+
+// bucketOf maps a duration to its bucket index: the first finite
+// bucket whose bound covers it, or the overflow bucket. Non-positive
+// durations land in bucket 0.
+func bucketOf(d time.Duration) int {
+	n := d.Nanoseconds()
+	if n <= 1000 { // ≤ 1µs, bucket 0's bound
+		return 0
+	}
+	us := (uint64(n) + 999) / 1000 // ceil to microseconds
+	i := bits.Len64(us - 1)        // ceil(log₂ us): first i with us ≤ 2^i
+	if i >= NumFiniteBuckets {
+		return NumFiniteBuckets // overflow
+	}
+	return i
+}
+
+// Histogram is a lock-free log₂-bucketed histogram of durations: one
+// atomic counter per bucket plus an atomic nanosecond sum. The zero
+// value is ready to use, and all methods are safe for concurrent use.
+// Snapshots taken while writers are active are internally consistent
+// per counter (each bucket is exact) but need not be a single instant
+// across counters; the rendered cumulative counts are still monotone
+// because they are summed from one snapshot.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Snapshot is a point-in-time copy of a Histogram's counters.
+type Snapshot struct {
+	// Buckets holds per-bucket (non-cumulative) counts; the last entry
+	// is the overflow ("+Inf") bucket.
+	Buckets [numBuckets]uint64
+	// Sum is the total of every observed duration.
+	Sum time.Duration
+}
+
+// Snapshot copies the counters.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s Snapshot) Count() uint64 {
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Series pairs one Histogram with the label set identifying it inside
+// a metric family, e.g. `endpoint="solve"`. An empty Labels renders an
+// unlabeled series.
+type Series struct {
+	Labels string
+	Hist   *Histogram
+}
+
+// WriteProm renders one histogram metric family in Prometheus text
+// exposition format: a single HELP/TYPE header followed, per series,
+// by cumulative <name>_bucket samples with le boundaries in seconds
+// ending at le="+Inf", then <name>_sum (seconds) and <name>_count.
+func WriteProm(w io.Writer, name, help string, series ...Series) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range series {
+		snap := s.Hist.Snapshot()
+		sep := ""
+		if s.Labels != "" {
+			sep = ","
+		}
+		var cum uint64
+		for i := 0; i < NumFiniteBuckets; i++ {
+			cum += snap.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
+				name, s.Labels, sep, strconv.FormatFloat(BucketBound(i), 'g', -1, 64), cum)
+		}
+		cum += snap.Buckets[NumFiniteBuckets]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, s.Labels, sep, cum)
+		if s.Labels != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n",
+				name, s.Labels, snap.Sum.Seconds(), name, s.Labels, cum)
+		} else {
+			fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum.Seconds(), name, cum)
+		}
+	}
+}

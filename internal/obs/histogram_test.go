@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucketing contract at the exact edges:
+// non-positive and sub-microsecond durations land in bucket 0, a
+// duration exactly at a power-of-two boundary lands in the bucket
+// whose inclusive bound it equals, one nanosecond past a boundary
+// spills into the next bucket, and durations beyond the last finite
+// bound land in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	last := time.Duration(1<<(NumFiniteBuckets-1)) * time.Microsecond
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},         // exactly bucket 0's bound
+		{time.Microsecond + 1, 1},     // one past it
+		{2 * time.Microsecond, 1},     // exactly 2^1 µs
+		{4 * time.Microsecond, 2},     // exactly 2^2 µs
+		{4*time.Microsecond + 1, 3},   // one past 2^2 µs
+		{1024 * time.Microsecond, 10}, // exactly 2^10 µs
+		{last, NumFiniteBuckets - 1},  // exactly the last finite bound
+		{last + 1, NumFiniteBuckets},  // one past it: overflow
+		{time.Hour, NumFiniteBuckets}, // far overflow
+		{3 * time.Microsecond, 2},     // interior value rounds up
+		{1500 * time.Nanosecond, 1},   // sub-µs remainder ceils
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race in CI) and checks that no observation is
+// lost and the sum is exact.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if got, want := snap.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var wantSum time.Duration
+	for i := 0; i < workers*perWorker; i++ {
+		wantSum += time.Duration(i) * time.Microsecond
+	}
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+// TestNilHistogram pins nil-receiver safety: the uninstrumented path
+// calls Observe/Snapshot on nil.
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if got := h.Snapshot().Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d", got)
+	}
+}
+
+// TestWritePromExposition renders a two-series family and checks the
+// exposition invariants the daemon's /metrics relies on: one HELP/TYPE
+// header, per-series cumulative-monotone buckets ending at le="+Inf",
+// and _sum/_count samples agreeing with the observations.
+func TestWritePromExposition(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)     // bucket 0
+	a.Observe(3 * time.Microsecond) // bucket 2
+	a.Observe(time.Hour)            // overflow
+	b.Observe(2 * time.Millisecond)
+
+	var sb strings.Builder
+	WriteProm(&sb, "test_seconds", "Test histogram.",
+		Series{Labels: `endpoint="solve"`, Hist: &a},
+		Series{Labels: `endpoint="batch"`, Hist: &b})
+	out := sb.String()
+
+	if !strings.HasPrefix(out, "# HELP test_seconds Test histogram.\n# TYPE test_seconds histogram\n") {
+		t.Fatalf("missing HELP/TYPE header:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE"); n != 1 {
+		t.Fatalf("want exactly one TYPE line, got %d", n)
+	}
+	for _, series := range []struct {
+		label string
+		count uint64
+		sum   float64
+	}{
+		{`endpoint="solve"`, 3, (time.Microsecond + 3*time.Microsecond + time.Hour).Seconds()},
+		{`endpoint="batch"`, 1, (2 * time.Millisecond).Seconds()},
+	} {
+		var prev uint64
+		buckets, infSeen := 0, false
+		sc := bufio.NewScanner(strings.NewReader(out))
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.Contains(line, series.label) {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(line, "test_seconds_bucket{"):
+				if infSeen {
+					t.Fatalf("bucket after le=\"+Inf\": %s", line)
+				}
+				fields := strings.Fields(line)
+				v, err := strconv.ParseUint(fields[1], 10, 64)
+				if err != nil {
+					t.Fatalf("bad bucket value %q: %v", line, err)
+				}
+				if v < prev {
+					t.Fatalf("non-monotone cumulative bucket: %s (prev %d)", line, prev)
+				}
+				prev = v
+				buckets++
+				if strings.Contains(line, `le="+Inf"`) {
+					infSeen = true
+					if v != series.count {
+						t.Fatalf("+Inf bucket = %d, want %d", v, series.count)
+					}
+				}
+			case strings.HasPrefix(line, "test_seconds_count"):
+				if fields := strings.Fields(line); fields[1] != fmt.Sprint(series.count) {
+					t.Fatalf("count sample %q, want %d", line, series.count)
+				}
+			case strings.HasPrefix(line, "test_seconds_sum"):
+				fields := strings.Fields(line)
+				v, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil || v != series.sum {
+					t.Fatalf("sum sample %q, want %g", line, series.sum)
+				}
+			}
+		}
+		if !infSeen {
+			t.Fatalf("series %s has no le=\"+Inf\" bucket", series.label)
+		}
+		if buckets != NumFiniteBuckets+1 {
+			t.Fatalf("series %s rendered %d buckets, want %d", series.label, buckets, NumFiniteBuckets+1)
+		}
+	}
+}
+
+// TestBucketBoundsAscending pins that the rendered le boundaries are
+// strictly increasing — the property the cumulative counts depend on.
+func TestBucketBoundsAscending(t *testing.T) {
+	for i := 1; i < NumFiniteBuckets; i++ {
+		if BucketBound(i) <= BucketBound(i-1) {
+			t.Fatalf("BucketBound(%d)=%g not above BucketBound(%d)=%g",
+				i, BucketBound(i), i-1, BucketBound(i-1))
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceSpansAndAttrs records a few stages (concurrently, as batch
+// workers do) and checks the snapshot: spans sorted by start offset,
+// attributes copied, error and duration stamped by Finish.
+func TestTraceSpansAndAttrs(t *testing.T) {
+	tr := NewTrace("solve")
+	base := tr.Begin()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Span(StageSolve, "dp", base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	tr.Span(StagePrep, "", base, 500*time.Microsecond)
+	tr.SetAttr("mode", "auto")
+	tr.Finish(errors.New("boom"))
+
+	d := tr.Data()
+	if d.Op != "solve" || d.Err != "boom" || d.Dur <= 0 {
+		t.Fatalf("bad trace header: %+v", d)
+	}
+	if d.Attrs["mode"] != "auto" {
+		t.Fatalf("attrs = %v", d.Attrs)
+	}
+	if len(d.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(d.Spans))
+	}
+	for i := 1; i < len(d.Spans); i++ {
+		if d.Spans[i].Start < d.Spans[i-1].Start {
+			t.Fatalf("spans not sorted by start: %+v", d.Spans)
+		}
+	}
+	if d.Spans[0].Name != StagePrep && d.Spans[0].Name != StageSolve {
+		t.Fatalf("unexpected first span %+v", d.Spans[0])
+	}
+
+	// Finish stamps once: a second Finish must not overwrite.
+	first := d.Dur
+	tr.Finish(errors.New("later"))
+	if got := tr.Data(); got.Dur != first || got.Err != "boom" {
+		t.Fatalf("Finish overwrote: dur %v→%v err %q", first, got.Dur, got.Err)
+	}
+}
+
+// TestNilTraceAndContext pins the nil-safety contract: recording into
+// an absent trace is a no-op, and a context without a trace yields nil.
+func TestNilTraceAndContext(t *testing.T) {
+	var tr *Trace
+	tr.Span(StageSolve, "dp", time.Now(), time.Second)
+	tr.SetAttr("k", "v")
+	tr.Finish(nil)
+	if d := tr.Data(); d.Op != "" || len(d.Spans) != 0 {
+		t.Fatalf("nil trace data = %+v", d)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+	ctx := With(context.Background(), nil)
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext(With(nil)) = %v", got)
+	}
+	real := NewTrace("x")
+	if got := FromContext(With(context.Background(), real)); got != real {
+		t.Fatalf("trace did not round-trip through context")
+	}
+}
+
+// TestRecorderWraparound fills a small ring far past its capacity and
+// checks that exactly the last N traces survive, newest first, with
+// monotonically assigned ids.
+func TestRecorderWraparound(t *testing.T) {
+	const ringSize, total = 4, 11
+	r := NewRecorder(ringSize)
+	for i := 1; i <= total; i++ {
+		tr := NewTrace(fmt.Sprintf("op%d", i))
+		tr.Finish(nil)
+		r.Add(tr)
+	}
+	got := r.Traces()
+	if len(got) != ringSize {
+		t.Fatalf("ring holds %d traces, want %d", len(got), ringSize)
+	}
+	for i, d := range got {
+		wantID := uint64(total - i)
+		if d.ID != wantID {
+			t.Fatalf("trace %d has id %d, want %d (newest first)", i, d.ID, wantID)
+		}
+		if want := fmt.Sprintf("op%d", wantID); d.Op != want {
+			t.Fatalf("trace id %d has op %q, want %q", d.ID, d.Op, want)
+		}
+	}
+}
+
+// TestRecorderPartialFill reads a ring that has not wrapped yet.
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 3; i++ {
+		r.Add(NewTrace(fmt.Sprintf("op%d", i)))
+	}
+	got := r.Traces()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(got))
+	}
+	if got[0].Op != "op3" || got[2].Op != "op1" {
+		t.Fatalf("order wrong: %v, %v", got[0].Op, got[2].Op)
+	}
+	// Add finishes unfinished traces so durations are stamped.
+	if got[0].Dur <= 0 {
+		t.Fatalf("Add did not stamp duration: %+v", got[0])
+	}
+}
+
+// TestRecorderConcurrentAdd exercises the ring under concurrent
+// writers and readers (race detector coverage).
+func TestRecorderConcurrentAdd(t *testing.T) {
+	r := NewRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Add(NewTrace("op"))
+				r.Traces()
+			}
+		}()
+	}
+	wg.Wait()
+	got := r.Traces()
+	if len(got) != 16 {
+		t.Fatalf("ring holds %d traces, want 16", len(got))
+	}
+	if got[0].ID != 400 {
+		t.Fatalf("newest id = %d, want 400", got[0].ID)
+	}
+	var nilRec *Recorder
+	nilRec.Add(NewTrace("x"))
+	if nilRec.Traces() != nil {
+		t.Fatalf("nil recorder returned traces")
+	}
+	r.Add(nil) // nil trace is a no-op
+	if got := r.Traces(); got[0].ID != 400 {
+		t.Fatalf("nil Add bumped ids: %d", got[0].ID)
+	}
+}

@@ -169,8 +169,25 @@ type SolveResponse struct {
 	CompetitiveRatio float64 `json:"competitiveRatio,omitempty"`
 	CommittedJobs    int     `json:"committedJobs,omitempty"`
 	CommittedCost    float64 `json:"committedCost,omitempty"`
+	// Timings is the per-stage wall-clock breakdown of the solve that
+	// produced this response (nil when Err is set).
+	Timings *WireTimings `json:"timings,omitempty"`
 	// Err is set when the request failed; all other fields are zero.
 	Err *WireError `json:"error,omitempty"`
+}
+
+// WireTimings mirrors gapsched.Timings on the wire: where the solve
+// spent its time, per pipeline stage, summed over fragments. All
+// fields are integer nanoseconds. Cache hits report their lookup time
+// under CacheNs rather than the original solve's cost, and session
+// solves report only the fragments the resolve actually re-solved.
+type WireTimings struct {
+	PrepNs      int64 `json:"prepNs,omitempty"`
+	CacheNs     int64 `json:"cacheNs,omitempty"`
+	SolveDPNs   int64 `json:"solveDpNs,omitempty"`
+	SolvePolyNs int64 `json:"solvePolyNs,omitempty"`
+	SolveHeurNs int64 `json:"solveHeurNs,omitempty"`
+	AssembleNs  int64 `json:"assembleNs,omitempty"`
 }
 
 // Validate checks the response invariant: exactly one of a schedule

@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	gapsched "repro"
+	"repro/internal/obs"
 )
 
 // ErrShuttingDown is returned to requests that arrive after graceful
@@ -34,11 +36,13 @@ type outcome struct {
 }
 
 // pending is one buffered request. done is buffered so a dispatcher
-// never blocks on a client that stopped listening.
+// never blocks on a client that stopped listening; enq timestamps the
+// buffering so the dispatch trace can report each request's queue wait.
 type pending struct {
 	ctx  context.Context
 	in   gapsched.Instance
 	done chan outcome
+	enq  time.Time
 }
 
 // coalescer buffers concurrent single-instance requests into short
@@ -54,6 +58,7 @@ type coalescer struct {
 	timeout  time.Duration // per-dispatch solve deadline (0 = none)
 	solver   func(solveKey) gapsched.Solver
 	met      *metrics
+	po       *pipelineObs // sinks for the per-dispatch trace
 
 	mu     sync.Mutex
 	groups map[solveKey]*group
@@ -67,13 +72,14 @@ type group struct {
 	timer *time.Timer
 }
 
-func newCoalescer(window time.Duration, maxBatch int, timeout time.Duration, met *metrics, solver func(solveKey) gapsched.Solver) *coalescer {
+func newCoalescer(window time.Duration, maxBatch int, timeout time.Duration, met *metrics, po *pipelineObs, solver func(solveKey) gapsched.Solver) *coalescer {
 	return &coalescer{
 		window:   window,
 		maxBatch: maxBatch,
 		timeout:  timeout,
 		solver:   solver,
 		met:      met,
+		po:       po,
 		groups:   make(map[solveKey]*group),
 	}
 }
@@ -85,7 +91,7 @@ func newCoalescer(window time.Duration, maxBatch int, timeout time.Duration, met
 // clients is bounded by the coalescer's timeout instead, so one
 // disconnecting client cannot cancel its peers' solutions.
 func (c *coalescer) enqueue(ctx context.Context, key solveKey, in gapsched.Instance) (<-chan outcome, error) {
-	p := &pending{ctx: ctx, in: in, done: make(chan outcome, 1)}
+	p := &pending{ctx: ctx, in: in, done: make(chan outcome, 1), enq: time.Now()}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -143,8 +149,20 @@ func (c *coalescer) flush(key solveKey, g *group) {
 // run dispatches one claimed window: a single SolveBatchContext over
 // the shared cache, results demultiplexed back per request. The
 // caller must have claimed a wg slot (detachLocked or enqueue).
+// The dispatch runs under one trace — a coalesced window therefore
+// yields one span tree with a queue-wait span per buffered request —
+// which feeds the latency histograms and the debug ring on completion.
 func (c *coalescer) run(key solveKey, reqs []*pending) {
 	defer c.wg.Done()
+	tr := obs.NewTrace("solve")
+	tr.SetAttr("mode", key.mode.String())
+	tr.SetAttr("requests", strconv.Itoa(len(reqs)))
+	// Queue waits happened before the dispatch trace began; anchor them
+	// at offset zero so span offsets stay non-negative — the duration is
+	// the meaningful quantity.
+	for _, p := range reqs {
+		tr.Span(obs.StageQueueWait, "", tr.Begin(), tr.Begin().Sub(p.enq))
+	}
 	// A single-request dispatch serves exactly one client, however it
 	// got here — immediate, size-triggered, or a timer flush of a
 	// window nobody else joined — so that client's ctx can safely
@@ -153,19 +171,30 @@ func (c *coalescer) run(key solveKey, reqs []*pending) {
 	ctx := context.Background()
 	if len(reqs) == 1 && reqs[0].ctx != nil {
 		ctx = reqs[0].ctx
+		if rid, ok := ctx.Value(ridKey{}).(uint64); ok {
+			tr.SetAttr("requestId", strconv.FormatUint(rid, 10))
+		}
 	}
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
 	}
+	ctx = obs.With(ctx, tr)
 	c.met.dispatches.Add(1)
 	if len(reqs) > 1 {
 		c.met.coalesced.Add(int64(len(reqs)))
 	}
 	s := c.solver(key)
+	// The trace finishes (histograms fed, ring entry added, slow-solve
+	// warning logged) before outcomes are delivered, so a client that
+	// has its response can already see its dispatch in /v1/debug/traces.
 	if len(reqs) == 1 {
 		sol, err := s.SolveContext(ctx, reqs[0].in)
+		if err == nil {
+			tr.SetAttr("fragments", strconv.Itoa(sol.Subinstances))
+		}
+		c.po.finishTrace(tr, err)
 		reqs[0].done <- outcome{sol: sol, err: err}
 		return
 	}
@@ -173,7 +202,16 @@ func (c *coalescer) run(key solveKey, reqs []*pending) {
 	for i, p := range reqs {
 		ins[i] = p.in
 	}
-	for i, r := range s.SolveBatchContext(ctx, ins) {
+	results := s.SolveBatchContext(ctx, ins)
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil {
+			firstErr = r.Err
+			break
+		}
+	}
+	c.po.finishTrace(tr, firstErr)
+	for i, r := range results {
 		reqs[i].done <- outcome{sol: r.Solution, err: r.Err}
 	}
 }

@@ -8,6 +8,7 @@ package service
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"testing"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 )
 
 func testCoalescer(window time.Duration) *coalescer {
-	return newCoalescer(window, 8, 0, &metrics{}, func(solveKey) gapsched.Solver {
+	met := &metrics{}
+	po := &pipelineObs{met: met, logger: slog.New(slog.DiscardHandler)}
+	return newCoalescer(window, 8, 0, met, po, func(solveKey) gapsched.Solver {
 		return gapsched.Solver{}
 	})
 }

@@ -5,8 +5,10 @@ import (
 	"io"
 	"math"
 	"sync/atomic"
+	"time"
 
 	gapsched "repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -68,6 +70,36 @@ type metrics struct {
 	errUnavailable atomic.Int64
 	errNotFound    atomic.Int64
 	errInternal    atomic.Int64
+
+	// Latency histograms (lock-free, log₂-bucketed; internal/obs).
+	// Request histograms measure end-to-end handler time per endpoint;
+	// fragment histograms measure individual backend solves extracted
+	// from dispatch traces; queueWait measures how long solve requests
+	// sat buffered in coalescing windows before their dispatch started.
+	reqSolve         obs.Histogram
+	reqBatch         obs.Histogram
+	reqSessionCreate obs.Histogram
+	reqSessionDelta  obs.Histogram
+	reqSessionSolve  obs.Histogram
+	reqSessionDelete obs.Histogram
+	fragDP           obs.Histogram
+	fragPoly         obs.Histogram
+	fragHeur         obs.Histogram
+	queueWait        obs.Histogram
+}
+
+// observeFragment records one fragment's backend solve duration under
+// the backend's histogram; the backend names match the trace span tags
+// ("dp", "poly", "heuristic").
+func (m *metrics) observeFragment(backend string, d time.Duration) {
+	switch backend {
+	case "poly":
+		m.fragPoly.Observe(d)
+	case "heuristic":
+		m.fragHeur.Observe(d)
+	default:
+		m.fragDP.Observe(d)
+	}
 }
 
 // countModeSolve records one successfully served solution: the mode
@@ -205,4 +237,20 @@ func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched
 		fmt.Fprintf(w, "# HELP gapschedd_fragcache_entries Fragment solutions currently cached.\n"+
 			"# TYPE gapschedd_fragcache_entries gauge\ngapschedd_fragcache_entries %d\n", st.Entries)
 	}
+	obs.WriteProm(w, "gapschedd_request_duration_seconds",
+		"End-to-end request handling latency, by endpoint.",
+		obs.Series{Labels: `endpoint="solve"`, Hist: &m.reqSolve},
+		obs.Series{Labels: `endpoint="batch"`, Hist: &m.reqBatch},
+		obs.Series{Labels: `endpoint="session_create"`, Hist: &m.reqSessionCreate},
+		obs.Series{Labels: `endpoint="session_delta"`, Hist: &m.reqSessionDelta},
+		obs.Series{Labels: `endpoint="session_solve"`, Hist: &m.reqSessionSolve},
+		obs.Series{Labels: `endpoint="session_delete"`, Hist: &m.reqSessionDelete})
+	obs.WriteProm(w, "gapschedd_fragment_solve_duration_seconds",
+		"Per-fragment backend solve latency over dispatched solves, by backend (cache hits excluded).",
+		obs.Series{Labels: `backend="dp"`, Hist: &m.fragDP},
+		obs.Series{Labels: `backend="poly"`, Hist: &m.fragPoly},
+		obs.Series{Labels: `backend="heuristic"`, Hist: &m.fragHeur})
+	obs.WriteProm(w, "gapschedd_queue_wait_seconds",
+		"Time solve requests spent buffered in coalescing windows before their dispatch started.",
+		obs.Series{Hist: &m.queueWait})
 }

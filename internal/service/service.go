@@ -26,10 +26,14 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	gapsched "repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -82,16 +86,30 @@ type Config struct {
 	// (0 = DefaultMaxSessions; negative means unlimited). Creates
 	// beyond the bound are rejected as unavailable.
 	MaxSessions int
+	// Logger receives the daemon's structured logs: per-request lines
+	// and slow-solve warnings. Nil discards them.
+	Logger *slog.Logger
+	// TraceRing sizes the ring of recent solve traces served by
+	// /v1/debug/traces (0 = obs.DefaultRingSize; negative disables
+	// trace retention — the endpoint then serves an empty list).
+	TraceRing int
+	// SlowSolve, when positive, logs a warning with the full per-stage
+	// breakdown for every dispatch whose solve ran at least this long.
+	SlowSolve time.Duration
 }
 
-// Server is the daemon: an http.Handler plus the shared cache and the
-// coalescer. Construct with New; close with Close.
+// Server is the daemon: an http.Handler plus the shared cache, the
+// coalescer, and the observability sinks (latency histograms, the
+// trace ring, the structured logger). Construct with New; close with
+// Close.
 type Server struct {
 	cfg      Config
 	cache    *gapsched.FragmentCache
 	co       *coalescer
 	sessions *sessionRegistry
 	met      metrics
+	po       *pipelineObs
+	reqID    atomic.Uint64
 	mux      *http.ServeMux
 }
 
@@ -109,21 +127,65 @@ func New(cfg Config) *Server {
 	if cfg.MaxSessions == 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	if cfg.CacheCapacity > 0 {
 		s.cache = gapsched.NewFragmentCache(cfg.CacheCapacity)
 	}
-	s.co = newCoalescer(cfg.Window, cfg.MaxBatch, cfg.SolveTimeout, &s.met, s.solverFor)
+	s.po = &pipelineObs{met: &s.met, logger: cfg.Logger, slow: cfg.SlowSolve}
+	if cfg.TraceRing >= 0 {
+		s.po.rec = obs.NewRecorder(cfg.TraceRing)
+	}
+	s.co = newCoalescer(cfg.Window, cfg.MaxBatch, cfg.SolveTimeout, &s.met, s.po, s.solverFor)
 	s.sessions = newSessionRegistry(cfg.SessionTTL, cfg.MaxSessions, &s.met)
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
-	s.mux.HandleFunc("POST /v1/session/{id}/delta", s.handleSessionDelta)
-	s.mux.HandleFunc("POST /v1/session/{id}/solve", s.handleSessionSolve)
-	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/solve", s.instrument("solve", &s.met.reqSolve, s.handleSolve))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", &s.met.reqBatch, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/session", s.instrument("session_create", &s.met.reqSessionCreate, s.handleSessionCreate))
+	s.mux.HandleFunc("POST /v1/session/{id}/delta", s.instrument("session_delta", &s.met.reqSessionDelta, s.handleSessionDelta))
+	s.mux.HandleFunc("POST /v1/session/{id}/solve", s.instrument("session_solve", &s.met.reqSessionSolve, s.handleSessionSolve))
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.instrument("session_delete", &s.met.reqSessionDelete, s.handleSessionDelete))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
 	return s
+}
+
+// ridKey keys the per-request id in a request context, so the dispatch
+// trace of an uncoalesced solve can carry the id of the request it
+// served.
+type ridKey struct{}
+
+// statusWriter captures the response status for the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps one endpoint handler with the request-scoped
+// observability: a fresh request id threaded through the context, the
+// endpoint's end-to-end latency histogram, and one structured log line
+// per request (id, endpoint, status, duration).
+func (s *Server) instrument(endpoint string, hist *obs.Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := s.reqID.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+		d := time.Since(start)
+		hist.Observe(d)
+		s.po.logger.Info("request",
+			slog.Uint64("id", rid),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", d))
+	}
 }
 
 // solverFor binds one solve configuration to the shared pieces.
@@ -278,6 +340,14 @@ func wireOutcome(out outcome) sched.SolveResponse {
 		CompetitiveRatio:   sol.CompetitiveRatio,
 		CommittedJobs:      sol.CommittedJobs,
 		CommittedCost:      sol.CommittedCost,
+		Timings: &sched.WireTimings{
+			PrepNs:      sol.Timings.Prep.Nanoseconds(),
+			CacheNs:     sol.Timings.Cache.Nanoseconds(),
+			SolveDPNs:   sol.Timings.SolveDP.Nanoseconds(),
+			SolvePolyNs: sol.Timings.SolvePoly.Nanoseconds(),
+			SolveHeurNs: sol.Timings.SolveHeur.Nanoseconds(),
+			AssembleNs:  sol.Timings.Assemble.Nanoseconds(),
+		},
 	}
 }
 
@@ -420,15 +490,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ins[j] = breq.Requests[i].Instance()
 		}
 		s.met.dispatches.Add(1)
-		for j, br := range s.solverFor(key).SolveBatchContext(ctx, ins) {
+		// Each configuration group dispatches under its own trace, like
+		// a coalesced window (queue waits do not apply — client-built
+		// batches never buffer).
+		tr := obs.NewTrace("batch")
+		tr.SetAttr("mode", key.mode.String())
+		tr.SetAttr("requests", strconv.Itoa(len(idxs)))
+		if rid, ok := r.Context().Value(ridKey{}).(uint64); ok {
+			tr.SetAttr("requestId", strconv.FormatUint(rid, 10))
+		}
+		var firstErr error
+		for j, br := range s.solverFor(key).SolveBatchContext(obs.With(ctx, tr), ins) {
 			out := wireOutcome(outcome{sol: br.Solution, err: br.Err})
 			if out.Err != nil {
 				s.met.bumpError(out.Err.Code)
+				if firstErr == nil {
+					firstErr = br.Err
+				}
 			} else {
 				s.met.countModeSolve(br.Solution, costOf(key, br.Solution)-br.Solution.LowerBound)
 			}
 			resp.Responses[idxs[j]] = out
 		}
+		s.po.finishTrace(tr, firstErr)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -441,4 +525,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, s.co.buffered(), s.sessions.open(), s.cache)
+}
+
+// handleTraces serves GET /v1/debug/traces: the retained solve traces,
+// newest first. With retention disabled (Config.TraceRing < 0) the
+// list is empty.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.po.rec.Traces()
+	if traces == nil {
+		traces = []obs.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceData `json:"traces"`
+	}{traces})
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	gapsched "repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -345,9 +346,22 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeWireError(w, noSession(id))
 		return
 	}
+	// Each resolve runs under its own trace: the facade records a span
+	// per re-solved fragment, which feeds the per-backend histograms
+	// and the debug ring like any one-shot dispatch.
+	tr := obs.NewTrace("session_solve")
+	tr.SetAttr("session", id)
+	if rid, ok := r.Context().Value(ridKey{}).(uint64); ok {
+		tr.SetAttr("requestId", strconv.FormatUint(rid, 10))
+	}
 	e.ops.Lock()
-	sol, err := e.sess.Resolve()
+	sol, err := e.sess.ResolveContext(obs.With(r.Context(), tr))
 	e.ops.Unlock()
+	if err == nil {
+		tr.SetAttr("resolved", strconv.Itoa(sol.ResolvedFragments))
+		tr.SetAttr("reused", strconv.Itoa(sol.ReusedFragments))
+	}
+	s.po.finishTrace(tr, err)
 	if err != nil {
 		s.writeWireError(w, wireError(err))
 		return

@@ -9,12 +9,14 @@ package gapsched
 // and real-time systems where unit jobs arrive and expire over time.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/sched"
 )
@@ -227,15 +229,28 @@ func (ss *Session) Instance() Instance {
 // fragment time order, so the result is bit-identical to a
 // from-scratch Solve of Instance(). Solution.ResolvedFragments and
 // ReusedFragments report the split; infeasibility is ErrInfeasible,
-// exactly as Solve reports it.
+// exactly as Solve reports it. Resolve is ResolveContext with a
+// background context.
 func (ss *Session) Resolve() (Solution, error) {
+	return ss.ResolveContext(context.Background())
+}
+
+// ResolveContext is Resolve with observability threading: when ctx
+// carries an obs.Trace, every re-solved fragment records its
+// backend-tagged span into it. Solution.Timings reports only the work
+// this call did — the fragments a delta dirtied — so a no-op Resolve
+// reports zero solve time.
+func (ss *Session) ResolveContext(ctx context.Context) (Solution, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.closed {
 		return Solution{}, ErrSessionClosed
 	}
+	trace := obs.FromContext(ctx)
+	var timings Timings
 	cost, schedule, counts, err := ss.tr.Resolve(func(fr sched.Instance) incr.Result {
-		r := ss.solver.solveFragment(ss.rt, ss.cache, fr)
+		r := ss.solver.solveFragment(ss.rt, ss.cache, fr, trace)
+		timings.add(r)
 		return incr.Result{Cost: r.cost, Schedule: r.schedule, States: r.states,
 			Pruned: r.pruned, Expanded: r.expanded,
 			LB: r.lb, Heur: r.heur, Poly: r.poly, Hit: r.hit, Err: r.err}
@@ -244,12 +259,18 @@ func (ss *Session) Resolve() (Solution, error) {
 		return Solution{}, err
 	}
 	if ss.onl != nil {
-		return ss.resolveOnline(counts)
+		sol, err := ss.resolveOnline(counts)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.Timings = timings
+		return sol, nil
 	}
 	if err := schedule.Validate(ss.tr.Instance()); err != nil {
 		return Solution{}, err
 	}
 	sol := Solution{
+		Timings:            timings,
 		Schedule:           schedule,
 		States:             counts.States,
 		PrunedStates:       counts.PrunedStates,

@@ -7,10 +7,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fragcache"
 	"repro/internal/heur"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/prep"
 	"repro/internal/sched"
@@ -249,6 +251,55 @@ type Solution struct {
 	// contribute 0.
 	PrunedStates   int
 	ExpandedStates int
+	// Timings is the per-stage wall-clock breakdown of this solve —
+	// where the pipeline actually spent its time. Unlike the state
+	// counters it measures this call: fragments served from the cache
+	// contribute their lookup/wait time to Timings.Cache, not the
+	// original solve's cost, and a Session.Resolve reports only the
+	// fragments it re-solved.
+	Timings Timings
+}
+
+// Timings is a solve's per-stage wall-clock breakdown. The stages
+// mirror the pipeline: preprocessing (validation + decomposition),
+// fragment-cache service (lookups that avoided a backend solve,
+// singleflight waits included), the three solving backends, and
+// reassembly (fragment schedules → instance schedule + validation).
+// Durations are summed over fragments/sub-steps, so on a parallel
+// SolveBatch they report aggregate work, not elapsed wall-clock.
+type Timings struct {
+	Prep      time.Duration
+	Cache     time.Duration
+	SolveDP   time.Duration
+	SolvePoly time.Duration
+	SolveHeur time.Duration
+	Assemble  time.Duration
+}
+
+// Solve returns the summed backend solve time across all three tiers.
+func (t Timings) Solve() time.Duration {
+	return t.SolveDP + t.SolvePoly + t.SolveHeur
+}
+
+// Total returns the summed duration of every recorded stage.
+func (t Timings) Total() time.Duration {
+	return t.Prep + t.Cache + t.Solve() + t.Assemble
+}
+
+// add folds one fragment's outcome into the breakdown.
+func (t *Timings) add(r fragResult) {
+	if r.hit {
+		t.Cache += r.dur
+		return
+	}
+	switch {
+	case r.heur:
+		t.SolveHeur += r.dur
+	case r.poly:
+		t.SolvePoly += r.dur
+	default:
+		t.SolveDP += r.dur
+	}
 }
 
 // FragmentCache is a sharded, bounded (LRU per shard) cache of
@@ -495,7 +546,9 @@ func (s Solver) runtime() (objectiveRuntime, error) {
 }
 
 // fragResult is the outcome of solving one fragment, in the fragment's
-// own job order.
+// own job order. dur is the wall-clock this call spent obtaining the
+// result — the backend solve for a miss, the lookup (and possible
+// singleflight wait) for a cache hit.
 type fragResult struct {
 	cost     float64
 	schedule sched.Schedule
@@ -506,7 +559,35 @@ type fragResult struct {
 	heur     bool
 	poly     bool
 	hit      bool
+	dur      time.Duration
 	err      error
+}
+
+// backendName names the backend that produced a result, matching the
+// obs span tags and the daemon's per-backend metric labels.
+func (r fragResult) backendName() string {
+	switch {
+	case r.heur:
+		return "heuristic"
+	case r.poly:
+		return "poly"
+	}
+	return "dp"
+}
+
+// record stamps the fragment's duration and, when a trace is attached,
+// its span: cache hits become StageCache spans, real solves become
+// backend-tagged StageSolve spans.
+func (r *fragResult) record(tr *obs.Trace, start time.Time) {
+	r.dur = time.Since(start)
+	if tr == nil {
+		return
+	}
+	name := obs.StageSolve
+	if r.hit {
+		name = obs.StageCache
+	}
+	tr.Span(name, r.backendName(), start, r.dur)
 }
 
 // preparedInstance is one instance after the prep phase: its fragments
@@ -517,6 +598,7 @@ type preparedInstance struct {
 	plan    *prep.Plan // nil when NoPreprocess
 	frags   []sched.Instance
 	err     error // validation error; no fragments when set
+	prepDur time.Duration
 	results []fragResult
 	// failed is set once any fragment errors, so batch workers skip the
 	// instance's remaining fragments instead of solving results that
@@ -530,9 +612,16 @@ type preparedInstance struct {
 	failed atomic.Bool
 }
 
-// prepare runs the prep phase for one instance.
-func (s Solver) prepare(in Instance, rt objectiveRuntime) *preparedInstance {
+// prepare runs the prep phase for one instance, timing it (the prep
+// duration lands in Solution.Timings and, when a trace is attached, a
+// StagePrep span).
+func (s Solver) prepare(in Instance, rt objectiveRuntime, tr *obs.Trace) *preparedInstance {
+	start := time.Now()
 	p := &preparedInstance{in: in}
+	defer func() {
+		p.prepDur = time.Since(start)
+		tr.Span(obs.StagePrep, "", start, p.prepDur)
+	}()
 	if s.NoPreprocess {
 		p.frags = []sched.Instance{in}
 	} else {
@@ -557,13 +646,20 @@ func (s Solver) prepare(in Instance, rt objectiveRuntime) *preparedInstance {
 // through the canonicalization permutation, so a hit returns a
 // schedule of the fragment as given; each backend's entries carry a
 // distinct key tag, so backends never serve each other's solutions.
-func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sched.Instance) fragResult {
+// Every call is timed: the elapsed wall-clock lands in the result's
+// dur and, when tr is non-nil, in a per-fragment span — a
+// backend-tagged StageSolve span for a real solve, a StageCache span
+// for a hit (singleflight waits on another worker's solve included).
+func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sched.Instance, tr *obs.Trace) fragResult {
+	start := time.Now()
 	solve, tag := rt.solverFor(rt.tier(fr))
 	if cache == nil {
 		val := solve(fr)
-		return fragResult{cost: val.cost, schedule: val.schedule, states: val.states,
+		res := fragResult{cost: val.cost, schedule: val.schedule, states: val.states,
 			pruned: val.pruned, expanded: val.expanded,
 			lb: val.lb, heur: val.heur, poly: val.poly, err: val.err}
+		res.record(tr, start)
+		return res
 	}
 	canon, perm := prep.Canonicalize(fr)
 	key := prep.CanonicalKey(canon, tag, rt.alpha)
@@ -581,6 +677,7 @@ func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sche
 		}
 		res.schedule = sched.Schedule{Procs: val.schedule.Procs, Slots: slots}
 	}
+	res.record(tr, start)
 	return res
 }
 
@@ -591,12 +688,15 @@ func (s Solver) solveFragment(rt objectiveRuntime, cache *FragmentCache, fr sche
 // float results bit-identical no matter which workers solved what —
 // and the fragment schedules are reassembled onto the original
 // instance. The first error in fragment order wins, matching a
-// sequential solve exactly.
-func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Solution, error) {
+// sequential solve exactly. The reassembly is timed into
+// Timings.Assemble (and a StageAssemble span when tr is non-nil);
+// per-fragment durations accumulate into the stage the fragment used.
+func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime, tr *obs.Trace) (Solution, error) {
 	if p.err != nil {
 		return Solution{}, p.err
 	}
 	sol := Solution{Subinstances: len(p.frags), Mode: s.Mode}
+	sol.Timings.Prep = p.prepDur
 	parts := make([]sched.Schedule, len(p.frags))
 	cost := 0.0
 	for i := range p.results {
@@ -618,16 +718,20 @@ func (s Solver) finishInstance(p *preparedInstance, rt objectiveRuntime) (Soluti
 		if r.hit {
 			sol.CacheHits++
 		}
+		sol.Timings.add(*r)
 		parts[i] = r.schedule
 	}
 	if p.plan == nil {
 		sol.Schedule = parts[0]
 	} else {
+		start := time.Now()
 		schedule, err := p.plan.Assemble(parts)
-		if err != nil {
-			return Solution{}, err
+		if err == nil {
+			err = schedule.Validate(p.in)
 		}
-		if err := schedule.Validate(p.in); err != nil {
+		sol.Timings.Assemble = time.Since(start)
+		tr.Span(obs.StageAssemble, "", start, sol.Timings.Assemble)
+		if err != nil {
 			return Solution{}, err
 		}
 		sol.Schedule = schedule
@@ -666,17 +770,18 @@ func ctxErr(ctx context.Context) error {
 }
 
 func (s Solver) solveOne(ctx context.Context, in Instance, rt objectiveRuntime, cache *FragmentCache) (Solution, error) {
-	p := s.prepare(in, rt)
+	tr := obs.FromContext(ctx)
+	p := s.prepare(in, rt, tr)
 	for i, fr := range p.frags {
 		if ctx.Err() != nil {
 			return Solution{}, ctxErr(ctx)
 		}
-		p.results[i] = s.solveFragment(rt, cache, fr)
+		p.results[i] = s.solveFragment(rt, cache, fr, tr)
 		if p.results[i].err != nil {
 			break // finishInstance reports the first error in order
 		}
 	}
-	return s.finishInstance(p, rt)
+	return s.finishInstance(p, rt, tr)
 }
 
 // BatchResult pairs one instance's Solution with its error; exactly one
@@ -738,11 +843,14 @@ func (s Solver) SolveBatchContext(ctx context.Context, ins []Instance) []BatchRe
 		cache = NewFragmentCache(s.CacheSize)
 	}
 
-	// Prep phase: decompose every instance, flatten the fragments.
+	// Prep phase: decompose every instance, flatten the fragments. One
+	// batch shares the context's trace, so its spans interleave across
+	// instances; per-instance Timings stay exact regardless.
+	tr := obs.FromContext(ctx)
 	prepped := make([]*preparedInstance, len(ins))
 	queue := make([]task, 0, len(ins))
 	for i, in := range ins {
-		prepped[i] = s.prepare(in, rt)
+		prepped[i] = s.prepare(in, rt, tr)
 		for f := range prepped[i].frags {
 			queue = append(queue, task{inst: i, frag: f})
 		}
@@ -754,7 +862,7 @@ func (s Solver) SolveBatchContext(ctx context.Context, ins []Instance) []BatchRe
 	remaining := make([]atomic.Int32, len(ins))
 	for i, p := range prepped {
 		if len(p.frags) == 0 {
-			out[i].Solution, out[i].Err = s.finishInstance(p, rt)
+			out[i].Solution, out[i].Err = s.finishInstance(p, rt, tr)
 		} else {
 			remaining[i].Store(int32(len(p.frags)))
 		}
@@ -785,7 +893,7 @@ func (s Solver) SolveBatchContext(ctx context.Context, ins []Instance) []BatchRe
 					if ctx.Err() != nil {
 						res = fragResult{err: ctxErr(ctx)}
 					} else {
-						res = s.solveFragment(rt, cache, p.frags[tk.frag])
+						res = s.solveFragment(rt, cache, p.frags[tk.frag], tr)
 					}
 					p.results[tk.frag] = res
 					if res.err != nil {
@@ -796,7 +904,7 @@ func (s Solver) SolveBatchContext(ctx context.Context, ins []Instance) []BatchRe
 				// sibling fragment's result (atomic Add orders the
 				// writes) and assembles the instance.
 				if remaining[tk.inst].Add(-1) == 0 {
-					out[tk.inst].Solution, out[tk.inst].Err = s.finishInstance(p, rt)
+					out[tk.inst].Solution, out[tk.inst].Err = s.finishInstance(p, rt, tr)
 				}
 			}
 		}()
