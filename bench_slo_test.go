@@ -1,0 +1,198 @@
+package gapsched_test
+
+// BenchmarkE24_Replay: the trace-replay SLO harness of DESIGN.md §4
+// (E24) on a pinned, time-compressed recording. Each iteration stands
+// up a fresh daemon, replays the recorded arrival trace open-loop
+// through the CSV adapter, and cross-checks the daemon's rolling-window
+// SLO view against external measurement, reporting:
+//
+//	p99_us/op      externally measured p99 of the replayed requests
+//	bucket_agree   1 when the daemon's sliding p99 lands in the same
+//	               log₂ bucket as the external p99
+//	verdict_agree  1 when the daemon's ok/degraded verdict matches the
+//	               verdict computed externally from the same objectives
+//
+// The agreement columns are reported (not asserted) so a noisy CI
+// machine shows up as a metric regression, not a flaky failure.
+//
+// This file is in package gapsched_test (not gapsched like
+// bench_test.go) because internal/service imports the root package:
+// an in-package benchmark would create an import cycle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	gapsched "repro"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// e24BenchTrace builds the pinned recording: bursty arrivals over a
+// small pool of feasible two-processor instances, round-tripped
+// through the CSV adapter, compressed to tens of milliseconds so one
+// replay is one benchmark op.
+func e24BenchTrace(b *testing.B) workload.Trace {
+	b.Helper()
+	rng := rand.New(rand.NewSource(24))
+	pool := make([]sched.Instance, 5)
+	for i := range pool {
+		for {
+			in := workload.Bursty(rng, 12, 3, 72, 4, 5)
+			in.Procs = 2
+			if gapsched.Feasible(in) {
+				pool[i] = in
+				break
+			}
+		}
+	}
+	trace := workload.RecordBursty(rng, pool, 6, 5, 8*time.Millisecond, 300*time.Microsecond)
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	parsed, err := workload.ParseTrace(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return parsed
+}
+
+func BenchmarkE24_Replay(b *testing.B) {
+	trace := e24BenchTrace(b)
+	lanes := []struct {
+		name      string
+		p99Target time.Duration
+	}{
+		{"generous", 2 * time.Second}, // healthy on both sides
+		{"tight", time.Nanosecond},    // degraded on both sides
+	}
+	for _, lane := range lanes {
+		b.Run(lane.name, func(b *testing.B) {
+			var p99Sum, bucketAgree, verdictAgree float64
+			for i := 0; i < b.N; i++ {
+				extP99, daemonP99, daemonVerdict := e24BenchReplay(b, trace, lane.p99Target)
+				p99Sum += float64(extP99.Microseconds())
+				if obs.BucketIndex(extP99) == obs.BucketIndex(daemonP99) {
+					bucketAgree++
+				}
+				extVerdict := service.SLOStatusOK
+				if extP99 > lane.p99Target {
+					extVerdict = service.SLOStatusDegraded
+				}
+				if daemonVerdict == extVerdict {
+					verdictAgree++
+				}
+			}
+			b.ReportMetric(p99Sum/float64(b.N), "p99_us/op")
+			b.ReportMetric(bucketAgree/float64(b.N), "bucket_agree")
+			b.ReportMetric(verdictAgree/float64(b.N), "verdict_agree")
+		})
+	}
+}
+
+// e24BenchReplay replays the trace against a fresh daemon and returns
+// the external p99, the daemon's sliding solve p99, and its verdict.
+func e24BenchReplay(b *testing.B, trace workload.Trace, p99Target time.Duration) (extP99, daemonP99 time.Duration, verdict string) {
+	b.Helper()
+	srv := service.New(service.Config{
+		// As in E24: a 20 ms coalescing window floors the tail latency
+		// a few ms above the 16384 µs bucket boundary, keeping the
+		// bucket-agreement metric stable against client jitter.
+		Window:        20 * time.Millisecond,
+		CacheCapacity: 1 << 14,
+		SolveTimeout:  time.Minute,
+		SLOLatencyP99: p99Target,
+		SLOErrorRate:  0.05,
+		SLOWindow:     5 * time.Minute,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	defer client.CloseIdleConnections()
+	// Pre-warm keep-alive connections through the uninstrumented
+	// /healthz so TCP setup never lands in a measured latency.
+	var warm sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		warm.Add(1)
+		go func() {
+			defer warm.Done()
+			if resp, err := client.Get(ts.URL + "/healthz"); err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	warm.Wait()
+
+	steps := trace.Instances(2)
+	lats := make([]time.Duration, len(steps))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, step := range steps {
+		if d := time.Until(start.Add(step.At)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, in sched.Instance) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			req := sched.SolveRequest{Objective: sched.WireGaps, Procs: in.Procs, Jobs: in.Jobs}
+			if err := json.NewEncoder(&buf).Encode(req); err != nil {
+				return
+			}
+			hreq, err := http.NewRequest("POST", ts.URL+"/v1/solve", &buf)
+			if err != nil {
+				return
+			}
+			hreq.Header.Set("Content-Type", "application/json")
+			// Latency to first response byte, matching the daemon's
+			// handler-side window rather than client-side scheduling.
+			var firstByte time.Time
+			hreq = hreq.WithContext(httptrace.WithClientTrace(hreq.Context(), &httptrace.ClientTrace{
+				GotFirstResponseByte: func() { firstByte = time.Now() },
+			}))
+			t0 := time.Now()
+			resp, err := client.Do(hreq)
+			done := time.Now()
+			if err != nil {
+				lats[i] = done.Sub(t0)
+				return
+			}
+			resp.Body.Close()
+			if firstByte.IsZero() {
+				firstByte = done
+			}
+			lats[i] = firstByte.Sub(t0)
+		}(i, step.Instance)
+	}
+	wg.Wait()
+
+	sort.Slice(lats, func(x, y int) bool { return lats[x] < lats[y] })
+	extP99 = lats[(len(lats)*99+99)/100-1]
+
+	resp, err := client.Get(ts.URL + "/v1/debug/slo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep service.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	daemonP99 = time.Duration(rep.Endpoints["solve"].P99Seconds * float64(time.Second))
+	return extP99, daemonP99, rep.Status
+}

@@ -40,7 +40,7 @@ func register(id, title string, run func(cfg config) []*stats.Table) {
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiment ids (E1..E23) or all")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (E1..E24) or all")
 		quick    = flag.Bool("quick", false, "smaller sizes and fewer trials")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		seed     = flag.Int64("seed", 1, "workload seed")

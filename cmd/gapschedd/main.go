@@ -87,6 +87,9 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.logFormat, "log-format", "text", "log output format: text or json")
 	fs.DurationVar(&o.cfg.SlowSolve, "slow-solve", 0, "warn with the per-stage trace for solves at least this slow (0 disables)")
 	fs.IntVar(&o.cfg.TraceRing, "trace-ring", 0, "solve traces retained for /v1/debug/traces (0 = default, negative disables)")
+	fs.DurationVar(&o.cfg.SLOLatencyP99, "slo-p99", service.DefaultSLOLatencyP99, "sliding-p99 latency objective per endpoint (negative disables)")
+	fs.Float64Var(&o.cfg.SLOErrorRate, "slo-error-rate", service.DefaultSLOErrorRate, "windowed 5xx error-rate objective (negative disables)")
+	fs.DurationVar(&o.cfg.SLOWindow, "slo-window", service.DefaultSLOWindow, "trailing window SLO verdicts cover")
 	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
 	}

@@ -13,6 +13,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"strconv"
 	"sync/atomic"
@@ -35,6 +36,15 @@ const (
 // seconds: 2^i microseconds.
 func BucketBound(i int) float64 {
 	return float64(uint64(1)<<i) * 1e-6
+}
+
+// BucketIndex maps a duration to the index of the bucket it is counted
+// in — the first finite bucket whose bound covers it, or
+// NumFiniteBuckets for the overflow bucket. Exposed so quantile
+// estimates and externally measured latencies can be compared at
+// bucket granularity (the histogram's native resolution).
+func BucketIndex(d time.Duration) int {
+	return bucketOf(d)
 }
 
 // bucketOf maps a duration to its bucket index: the first finite
@@ -96,6 +106,18 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// reset zeroes the counters. Each store is atomic, but the reset as a
+// whole is not a transaction: an Observe racing a reset may survive it
+// or be lost. Windowed rotation (window.go) accepts that — a handful
+// of observations at a sub-window boundary land in the neighboring
+// sub-window or vanish, which is noise at histogram granularity.
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
 // Count returns the total number of observations in the snapshot.
 func (s Snapshot) Count() uint64 {
 	var n uint64
@@ -103,6 +125,59 @@ func (s Snapshot) Count() uint64 {
 		n += b
 	}
 	return n
+}
+
+// Merge adds another snapshot's counters into s.
+func (s *Snapshot) Merge(o Snapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-quantile of the observed durations, in
+// seconds, from the bucket counts alone. The rank's bucket is found by
+// cumulative count; within the bucket the estimate interpolates
+// geometrically — value = lo·2^frac over the bucket's (lo, hi] range,
+// the natural interpolation for log₂-spaced bounds — so the estimate
+// is always inside the bucket that holds the exact sample quantile,
+// i.e. within one log₂ bucket (a factor of 2) of it. The overflow
+// bucket is treated as one more doubling, (2^25µs, 2^26µs]. q is
+// clamped to [0, 1]; an empty snapshot estimates 0.
+func (s Snapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest bucket whose cumulative count reaches
+	// rank. rank 0 (q=0) resolves to the first non-empty bucket.
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			hi := BucketBound(i)
+			if i == NumFiniteBuckets {
+				hi = 2 * BucketBound(NumFiniteBuckets-1)
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return hi / 2 * math.Pow(2, frac)
+		}
+		cum += c
+	}
+	return 2 * BucketBound(NumFiniteBuckets-1)
 }
 
 // Series pairs one Histogram with the label set identifying it inside

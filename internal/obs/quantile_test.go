@@ -1,0 +1,126 @@
+package obs
+
+// Quantile-estimation accuracy: on synthetic distributions spanning
+// several orders of magnitude — uniform, bimodal, heavy-tail — the
+// log₂-bucket estimate of p50/p90/p99 must land within one log₂
+// bucket of the exact sample percentile (the histogram's native
+// resolution; the geometric interpolation cannot do better than the
+// bucket that holds the rank).
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the nearest-rank sample quantile, matching the rank
+// convention of Snapshot.Quantile.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func testQuantileAccuracy(t *testing.T, name string, draw func(*rand.Rand) time.Duration) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	const n = 20000
+	var h Histogram
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		samples[i] = draw(rng)
+		h.Observe(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := exactQuantile(samples, q)
+		est := time.Duration(snap.Quantile(q) * float64(time.Second))
+		eb, xb := BucketIndex(est), BucketIndex(exact)
+		if d := eb - xb; d < -1 || d > 1 {
+			t.Errorf("%s p%g: estimate %v (bucket %d) vs exact %v (bucket %d): off by more than one log2 bucket",
+				name, 100*q, est, eb, exact, xb)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	testQuantileAccuracy(t, "uniform", func(rng *rand.Rand) time.Duration {
+		return time.Millisecond + time.Duration(rng.Int63n(int64(99*time.Millisecond)))
+	})
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	testQuantileAccuracy(t, "bimodal", func(rng *rand.Rand) time.Duration {
+		// A fast mode around 2ms and a slow mode around 80ms, 9:1 —
+		// the cache-hit / cache-miss latency shape.
+		if rng.Float64() < 0.9 {
+			return 2*time.Millisecond + time.Duration(rng.Int63n(int64(time.Millisecond)))
+		}
+		return 80*time.Millisecond + time.Duration(rng.Int63n(int64(10*time.Millisecond)))
+	})
+}
+
+func TestQuantileHeavyTail(t *testing.T) {
+	testQuantileAccuracy(t, "heavy-tail", func(rng *rand.Rand) time.Duration {
+		// Pareto with shape 1.2 and scale 1ms, truncated at 20s: a
+		// straggler-dominated tail several decades wide.
+		x := float64(time.Millisecond) / math.Pow(1-rng.Float64(), 1/1.2)
+		if x > float64(20*time.Second) {
+			x = float64(20 * time.Second)
+		}
+		return time.Duration(x)
+	})
+}
+
+// TestQuantileEdgeCases pins the degenerate inputs: empty snapshots,
+// out-of-range q, single-bucket mass, and the overflow bucket.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Snapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0", got)
+	}
+
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Microsecond) // bucket 2: (2µs, 4µs]
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := snap.Quantile(q)
+		if got < 2e-6 || got > 4e-6 {
+			t.Errorf("single-bucket quantile(%g) = %g, want inside (2µs, 4µs]", q, got)
+		}
+	}
+
+	var over Histogram
+	over.Observe(time.Hour) // overflow bucket
+	if got := over.Snapshot().Quantile(0.99); got < BucketBound(NumFiniteBuckets-1) {
+		t.Errorf("overflow quantile = %g, want >= %g", got, BucketBound(NumFiniteBuckets-1))
+	}
+}
+
+// TestQuantileMonotone: estimates are non-decreasing in q.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	snap := h.Snapshot()
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := snap.Quantile(q)
+		if got < prev {
+			t.Fatalf("quantile(%g) = %g < quantile of smaller q %g", q, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+// Rolling-window counters for live SLO evaluation. A cumulative
+// Histogram can answer "what was p99 since startup" but not "what is
+// p99 right now"; Windowed keeps a ring of K sub-window Histograms
+// rotated on the monotonic clock, so a merged snapshot covers exactly
+// the trailing window and old traffic ages out sub-window by
+// sub-window. Observations stay on the lock-free Histogram hot path —
+// rotation (one mutex acquisition per sub-window per slot, not per
+// observation) is the only coordination added. WindowedCounter is the
+// same ring over a single count, for windowed request/error rates.
+//
+// Rotation semantics: each ring slot is stamped with the sub-window
+// index (epoch) it currently holds. A writer that finds its slot
+// holding an older epoch recycles it under the mutex — reset, then
+// re-stamp — before observing. Snapshots merge only slots whose epoch
+// falls inside the trailing window, so a ring that has gone idle
+// reports empty without ever being touched. Observations racing a
+// recycle at a sub-window boundary may land in the neighboring
+// sub-window or be dropped; every individual counter access is atomic,
+// so the structure is race-clean and the loss is bounded by the
+// handful of in-flight writers at the instant of rotation.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults applied when NewWindowed/NewWindowedCounter get
+// non-positive parameters.
+const (
+	// DefaultWindow is the trailing window covered when none is given.
+	DefaultWindow = time.Minute
+	// DefaultSubWindows is the ring size when none is given: the
+	// window's resolution, and the fraction of it (1/K) by which the
+	// oldest traffic can outlive the window before aging out.
+	DefaultSubWindows = 8
+)
+
+// windowClock is the epoch arithmetic shared by Windowed and
+// WindowedCounter: sub-window index = elapsed monotonic time since
+// base, divided by the sub-window width.
+type windowClock struct {
+	base  time.Time // monotonic anchor, set at construction
+	width time.Duration
+	slots int
+}
+
+func newWindowClock(window time.Duration, slots int) windowClock {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if slots <= 0 {
+		slots = DefaultSubWindows
+	}
+	width := window / time.Duration(slots)
+	if width <= 0 {
+		width = 1
+	}
+	return windowClock{base: time.Now(), width: width, slots: slots}
+}
+
+// epoch returns the sub-window index containing now (clamped at 0 for
+// times before the anchor, which only a caller-supplied clock can
+// produce).
+func (c windowClock) epoch(now time.Time) int64 {
+	e := int64(now.Sub(c.base) / c.width)
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Window returns the trailing span a snapshot covers: slots × width
+// (the requested window, up to divisor rounding).
+func (c windowClock) Window() time.Duration {
+	return c.width * time.Duration(c.slots)
+}
+
+// Windowed is a rolling-window histogram: a ring of sub-window
+// Histograms rotated on the monotonic clock. Construct with
+// NewWindowed; all methods are safe for concurrent use.
+type Windowed struct {
+	clock windowClock
+	mu    sync.Mutex // serializes slot recycling
+	ring  []windowSlot
+}
+
+type windowSlot struct {
+	epoch atomic.Int64
+	hist  Histogram
+}
+
+// NewWindowed builds a rolling histogram whose snapshots cover the
+// trailing window, aged out in window/subs steps (non-positive
+// arguments take DefaultWindow / DefaultSubWindows).
+func NewWindowed(window time.Duration, subs int) *Windowed {
+	clock := newWindowClock(window, subs)
+	w := &Windowed{clock: clock, ring: make([]windowSlot, clock.slots)}
+	for i := range w.ring {
+		// Slot i starts as the (empty) holder of epoch i, so the ring
+		// needs no sentinel state: every slot is always a valid,
+		// possibly stale, sub-window.
+		w.ring[i].epoch.Store(int64(i))
+	}
+	return w
+}
+
+// Window returns the trailing span a snapshot covers.
+func (w *Windowed) Window() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.clock.Window()
+}
+
+// Observe records one duration in the current sub-window.
+func (w *Windowed) Observe(d time.Duration) {
+	w.ObserveAt(time.Now(), d)
+}
+
+// ObserveAt records one duration in the sub-window containing now.
+// Taking the clock as an argument keeps rotation testable; production
+// callers use Observe. An observation whose sub-window has already
+// been rotated past (a writer delayed across a full ring revolution)
+// is dropped — its sub-window has aged out of the trailing window, so
+// counting it anywhere would misattribute it.
+func (w *Windowed) ObserveAt(now time.Time, d time.Duration) {
+	if w == nil {
+		return
+	}
+	e := w.clock.epoch(now)
+	s := &w.ring[int(e%int64(len(w.ring)))]
+	if ep := s.epoch.Load(); ep != e {
+		if ep > e {
+			return
+		}
+		w.recycle(s, e)
+	}
+	s.hist.Observe(d)
+}
+
+// recycle rotates slot s forward to epoch e: reset, then re-stamp,
+// under the mutex so concurrent writers recycle each slot once.
+func (w *Windowed) recycle(s *windowSlot, e int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s.epoch.Load() >= e {
+		return // another writer already rotated this slot
+	}
+	s.hist.reset()
+	s.epoch.Store(e)
+}
+
+// Snapshot merges the sub-windows inside the trailing window ending
+// now.
+func (w *Windowed) Snapshot() Snapshot {
+	return w.SnapshotAt(time.Now())
+}
+
+// SnapshotAt merges the sub-windows covering (now − Window(), now]:
+// every ring slot whose epoch is within the last len(ring) sub-window
+// indices. Slots that rotate while being read are skipped — their
+// contents just left the window.
+func (w *Windowed) SnapshotAt(now time.Time) Snapshot {
+	var merged Snapshot
+	if w == nil {
+		return merged
+	}
+	e := w.clock.epoch(now)
+	oldest := e - int64(len(w.ring)) + 1
+	for i := range w.ring {
+		s := &w.ring[i]
+		ep := s.epoch.Load()
+		if ep < oldest || ep > e {
+			continue
+		}
+		snap := s.hist.Snapshot()
+		if s.epoch.Load() != ep {
+			continue // rotated mid-read; the data was about to expire anyway
+		}
+		merged.Merge(snap)
+	}
+	return merged
+}
+
+// WindowedCounter is a rolling-window event counter: the Windowed ring
+// over a single count. Construct with NewWindowedCounter; all methods
+// are safe for concurrent use.
+type WindowedCounter struct {
+	clock windowClock
+	mu    sync.Mutex
+	ring  []counterSlot
+}
+
+type counterSlot struct {
+	epoch atomic.Int64
+	n     atomic.Int64
+}
+
+// NewWindowedCounter builds a rolling counter whose Total covers the
+// trailing window (non-positive arguments take DefaultWindow /
+// DefaultSubWindows).
+func NewWindowedCounter(window time.Duration, subs int) *WindowedCounter {
+	clock := newWindowClock(window, subs)
+	c := &WindowedCounter{clock: clock, ring: make([]counterSlot, clock.slots)}
+	for i := range c.ring {
+		c.ring[i].epoch.Store(int64(i))
+	}
+	return c
+}
+
+// Add counts n events in the current sub-window.
+func (c *WindowedCounter) Add(n int64) {
+	c.AddAt(time.Now(), n)
+}
+
+// AddAt counts n events in the sub-window containing now. Events whose
+// sub-window has already been rotated past are dropped, mirroring
+// Windowed.ObserveAt.
+func (c *WindowedCounter) AddAt(now time.Time, n int64) {
+	if c == nil {
+		return
+	}
+	e := c.clock.epoch(now)
+	s := &c.ring[int(e%int64(len(c.ring)))]
+	if ep := s.epoch.Load(); ep != e {
+		if ep > e {
+			return
+		}
+		c.mu.Lock()
+		if s.epoch.Load() < e {
+			s.n.Store(0)
+			s.epoch.Store(e)
+		}
+		c.mu.Unlock()
+	}
+	s.n.Add(n)
+}
+
+// Total sums the events inside the trailing window ending now.
+func (c *WindowedCounter) Total() int64 {
+	return c.TotalAt(time.Now())
+}
+
+// TotalAt sums the events inside (now − Window(), now].
+func (c *WindowedCounter) TotalAt(now time.Time) int64 {
+	if c == nil {
+		return 0
+	}
+	e := c.clock.epoch(now)
+	oldest := e - int64(len(c.ring)) + 1
+	var total int64
+	for i := range c.ring {
+		s := &c.ring[i]
+		ep := s.epoch.Load()
+		if ep < oldest || ep > e {
+			continue
+		}
+		n := s.n.Load()
+		if s.epoch.Load() != ep {
+			continue
+		}
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,208 @@
+package obs
+
+// Rotation semantics of the rolling-window ring: deterministic aging
+// with an explicit clock, ring reuse after idle gaps, and race-mode
+// hammering of concurrent observers, rotators, and snapshotters.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWindowedRotation walks an explicit clock through sub-windows and
+// checks the merged snapshot covers exactly the trailing window.
+func TestWindowedRotation(t *testing.T) {
+	w := NewWindowed(4*time.Second, 4) // 4 sub-windows of 1s
+	base := time.Now()
+	at := func(d time.Duration) time.Time { return base.Add(d) }
+
+	// One observation in each of the first four sub-windows.
+	for i := 0; i < 4; i++ {
+		w.ObserveAt(at(time.Duration(i)*time.Second+500*time.Millisecond), time.Millisecond)
+	}
+	if got := w.SnapshotAt(at(3900 * time.Millisecond)).Count(); got != 4 {
+		t.Fatalf("full window count = %d, want 4", got)
+	}
+	// Entering epoch 4 ages out epoch 0's observation.
+	if got := w.SnapshotAt(at(4500 * time.Millisecond)).Count(); got != 3 {
+		t.Fatalf("after one rotation count = %d, want 3", got)
+	}
+	// Sub-window by sub-window, the rest expire.
+	if got := w.SnapshotAt(at(6500 * time.Millisecond)).Count(); got != 1 {
+		t.Fatalf("after three rotations count = %d, want 1", got)
+	}
+	if got := w.SnapshotAt(at(8 * time.Second)).Count(); got != 0 {
+		t.Fatalf("idle ring count = %d, want 0", got)
+	}
+
+	// Ring reuse after the idle gap: a new observation recycles its
+	// slot and is the only thing a fresh snapshot sees.
+	w.ObserveAt(at(9*time.Second+100*time.Millisecond), 2*time.Millisecond)
+	snap := w.SnapshotAt(at(9*time.Second + 200*time.Millisecond))
+	if got := snap.Count(); got != 1 {
+		t.Fatalf("post-reuse count = %d, want 1", got)
+	}
+	if got := snap.Quantile(0.5); got < 1e-3 || got > 2e-3 {
+		t.Errorf("post-reuse median = %g, want inside (1ms, 2ms]", got)
+	}
+}
+
+// TestWindowedCounterRotation mirrors the histogram rotation test for
+// the counter ring.
+func TestWindowedCounterRotation(t *testing.T) {
+	c := NewWindowedCounter(3*time.Second, 3)
+	base := time.Now()
+	at := func(d time.Duration) time.Time { return base.Add(d) }
+
+	c.AddAt(at(100*time.Millisecond), 5)
+	c.AddAt(at(1100*time.Millisecond), 7)
+	c.AddAt(at(2100*time.Millisecond), 11)
+	if got := c.TotalAt(at(2900 * time.Millisecond)); got != 23 {
+		t.Fatalf("full window total = %d, want 23", got)
+	}
+	if got := c.TotalAt(at(3500 * time.Millisecond)); got != 18 {
+		t.Fatalf("after one rotation total = %d, want 18", got)
+	}
+	if got := c.TotalAt(at(10 * time.Second)); got != 0 {
+		t.Fatalf("idle total = %d, want 0", got)
+	}
+	// Reuse: the slot that held the first sub-window is recycled.
+	c.AddAt(at(9*time.Second+10*time.Millisecond), 3)
+	if got := c.TotalAt(at(9*time.Second + 20*time.Millisecond)); got != 3 {
+		t.Fatalf("post-reuse total = %d, want 3", got)
+	}
+}
+
+// TestWindowedDefaultsAndNil: non-positive construction parameters take
+// the defaults, and nil receivers are no-ops (matching Histogram).
+func TestWindowedDefaultsAndNil(t *testing.T) {
+	w := NewWindowed(0, 0)
+	if got := w.Window(); got != DefaultWindow {
+		t.Errorf("default window = %v, want %v", got, DefaultWindow)
+	}
+	var nilW *Windowed
+	nilW.Observe(time.Millisecond)
+	if got := nilW.Snapshot().Count(); got != 0 {
+		t.Errorf("nil Windowed snapshot count = %d", got)
+	}
+	if nilW.Window() != 0 {
+		t.Errorf("nil Windowed window = %v", nilW.Window())
+	}
+	var nilC *WindowedCounter
+	nilC.Add(1)
+	if nilC.Total() != 0 {
+		t.Errorf("nil WindowedCounter total = %d", nilC.Total())
+	}
+}
+
+// TestWindowedConcurrentRotation hammers one ring from concurrent
+// observers whose clocks advance through many sub-windows while
+// snapshotters read, exercising recycle races under -race. The ring
+// may drop boundary observations by design, so the invariants are
+// one-sided: a snapshot never reports more than was ever observed, and
+// never more than the trailing window could hold.
+func TestWindowedConcurrentRotation(t *testing.T) {
+	const (
+		writers  = 4
+		perEpoch = 64 // observations per writer per sub-window
+		epochs   = 40 // sub-windows the virtual clock walks through
+		subs     = 4  // ring size
+		width    = int64(time.Millisecond)
+	)
+	w := NewWindowed(time.Duration(subs*width), subs)
+	base := time.Now()
+	var observed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for e := 0; e < epochs; e++ {
+				for i := 0; i < perEpoch; i++ {
+					at := base.Add(time.Duration(int64(e)*width + rng.Int63n(width)))
+					w.ObserveAt(at, time.Duration(rng.Int63n(int64(time.Second))))
+					observed.Add(1)
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var snapErr atomic.Value
+	var snapWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		snapWG.Add(1)
+		go func(g int) {
+			defer snapWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at := base.Add(time.Duration(rng.Int63n(int64(epochs) * width)))
+				snap := w.SnapshotAt(at)
+				if n := snap.Count(); int64(n) > observed.Load() {
+					snapErr.Store(n)
+					return
+				}
+				snap.Quantile(0.99) // must never panic mid-rotation
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if v := snapErr.Load(); v != nil {
+		t.Fatalf("snapshot reported %v observations, more than were ever made", v)
+	}
+
+	// Quiesced: a snapshot at the final epoch covers at most the last
+	// `subs` sub-windows' worth of observations, plus the handful of
+	// writers that may race each slot rotation.
+	final := w.SnapshotAt(base.Add(time.Duration(int64(epochs-1)*width + width - 1)))
+	maxInWindow := uint64(writers*perEpoch*subs + writers*subs)
+	if got := final.Count(); got > maxInWindow {
+		t.Fatalf("final window count = %d, want <= %d", got, maxInWindow)
+	}
+}
+
+// TestWindowedCounterConcurrent is the counter-ring analogue.
+func TestWindowedCounterConcurrent(t *testing.T) {
+	const (
+		writers = 4
+		epochs  = 40
+		width   = int64(time.Millisecond)
+	)
+	c := NewWindowedCounter(4*time.Duration(width), 4)
+	base := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for e := 0; e < epochs; e++ {
+				for i := 0; i < 32; i++ {
+					c.AddAt(base.Add(time.Duration(int64(e)*width+rng.Int63n(width))), 1)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			if c.TotalAt(base.Add(time.Duration(int64(i%epochs)*width))) < 0 {
+				t.Error("negative windowed total")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}

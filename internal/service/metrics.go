@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +20,8 @@ import (
 // the /metrics endpoint. Fragment-cache counters are not duplicated
 // here; they are read from the shared FragmentCache at render time.
 type metrics struct {
+	start time.Time // process vitals anchor, set by New
+
 	solveRequests atomic.Int64 // /v1/solve requests received
 	batchRequests atomic.Int64 // /v1/batch envelopes received
 	batchItems    atomic.Int64 // requests carried inside /v1/batch envelopes
@@ -167,6 +172,41 @@ func (m *metrics) bumpError(code string) {
 	}
 }
 
+// buildRevision reads the VCS revision stamped into the binary, once.
+// Binaries built outside a checkout (or with -buildvcs=false) report
+// "unknown".
+var buildRevision = sync.OnceValue(func() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+})
+
+// writeVitals renders the process-identity and runtime gauges: the
+// build (Go version + VCS revision), the start time, and the live
+// goroutine and heap numbers a dashboard needs next to the request
+// metrics.
+func (m *metrics) writeVitals(w io.Writer) {
+	fmt.Fprintf(w, "# HELP gapschedd_build_info Build identity; the value is always 1, the labels carry the Go version and VCS revision.\n"+
+		"# TYPE gapschedd_build_info gauge\ngapschedd_build_info{goversion=%q,revision=%q} 1\n",
+		runtime.Version(), buildRevision())
+	fmt.Fprintf(w, "# HELP gapschedd_start_time_seconds Unix time the daemon was constructed, for uptime arithmetic.\n"+
+		"# TYPE gapschedd_start_time_seconds gauge\ngapschedd_start_time_seconds %.3f\n",
+		float64(m.start.UnixNano())/1e9)
+	fmt.Fprintf(w, "# HELP gapschedd_go_goroutines Goroutines currently live.\n"+
+		"# TYPE gapschedd_go_goroutines gauge\ngapschedd_go_goroutines %d\n", runtime.NumGoroutine())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP gapschedd_go_heap_inuse_bytes Bytes in in-use heap spans.\n"+
+		"# TYPE gapschedd_go_heap_inuse_bytes gauge\ngapschedd_go_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintf(w, "# HELP gapschedd_go_heap_alloc_bytes Bytes of live heap objects.\n"+
+		"# TYPE gapschedd_go_heap_alloc_bytes gauge\ngapschedd_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+}
+
 // write renders the counters. buffered is the coalescer's current
 // open-window occupancy, sessionsOpen the live session count; cache
 // may be nil (caching disabled).
@@ -253,4 +293,5 @@ func (m *metrics) write(w io.Writer, buffered, sessionsOpen int, cache *gapsched
 	obs.WriteProm(w, "gapschedd_queue_wait_seconds",
 		"Time solve requests spent buffered in coalescing windows before their dispatch started.",
 		obs.Series{Hist: &m.queueWait})
+	m.writeVitals(w)
 }

@@ -74,23 +74,28 @@ type expoSeries struct {
 	cums []uint64
 }
 
-// TestMetricsExpositionStrict parses /metrics with a strict validator
-// after driving traffic through every endpoint: each family must have
-// HELP and TYPE lines before its first sample, no family may be
-// declared twice, and every histogram series must have cumulative
-// monotone buckets ending at le="+Inf" that agrees with _count.
-func TestMetricsExpositionStrict(t *testing.T) {
-	srv := New(Config{})
-	defer srv.Close()
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
-	driveTraffic(t, ts.URL)
-	body := fetch(t, ts.URL+"/metrics")
+// exposition is the parsed form of one /metrics body.
+type exposition struct {
+	typeOf  map[string]string      // family → metric type
+	buckets map[string]*expoSeries // family|labels (sans le) → buckets
+	counts  map[string]uint64      // family|labels → _count value
+	samples map[string]string      // metric|labels → value, non-histogram samples
+}
 
+// parseExposition is the strict Prometheus text-format validator: each
+// family must have HELP and TYPE lines before its first sample, no
+// family may be declared twice, no line may be blank, and every
+// histogram series must have cumulative monotone buckets ending at
+// le="+Inf" that agrees with _count. It fails the test on any
+// violation and returns the parsed exposition for family-specific
+// assertions.
+func parseExposition(t *testing.T, body string) exposition {
+	t.Helper()
 	helpSeen := map[string]bool{}
 	typeOf := map[string]string{}
 	buckets := map[string]*expoSeries{} // family + label set (sans le)
 	counts := map[string]uint64{}
+	samples := map[string]string{}
 	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
 		if line == "" {
 			t.Fatalf("line %d: blank line in exposition", ln+1)
@@ -151,6 +156,11 @@ func TestMetricsExpositionStrict(t *testing.T) {
 			value = strings.TrimSpace(rest)
 		}
 		if typeOf[family] != "histogram" {
+			key := metric
+			if labels != "" {
+				key += "|" + labels
+			}
+			samples[key] = value
 			continue
 		}
 
@@ -198,18 +208,6 @@ func TestMetricsExpositionStrict(t *testing.T) {
 		}
 	}
 
-	for _, family := range []string{
-		"gapschedd_request_duration_seconds",
-		"gapschedd_fragment_solve_duration_seconds",
-		"gapschedd_queue_wait_seconds",
-	} {
-		if typeOf[family] != "histogram" {
-			t.Errorf("family %q missing or not a histogram (TYPE %q)", family, typeOf[family])
-		}
-	}
-	if len(buckets) == 0 {
-		t.Fatal("no histogram series found in exposition")
-	}
 	for key, s := range buckets {
 		last := len(s.les) - 1
 		for i := 1; i <= last; i++ {
@@ -227,6 +225,46 @@ func TestMetricsExpositionStrict(t *testing.T) {
 			t.Errorf("series %s: _count %d != +Inf bucket %d", key, n, s.cums[last])
 		}
 	}
+	return exposition{typeOf: typeOf, buckets: buckets, counts: counts, samples: samples}
+}
+
+// requiredFamilies are the metric families every /metrics body must
+// expose, with their types.
+var requiredFamilies = map[string]string{
+	"gapschedd_request_duration_seconds":        "histogram",
+	"gapschedd_fragment_solve_duration_seconds": "histogram",
+	"gapschedd_queue_wait_seconds":              "histogram",
+	"gapschedd_slo_latency_seconds":             "gauge",
+	"gapschedd_slo_error_budget_remaining":      "gauge",
+	"gapschedd_slo_burn_rate":                   "gauge",
+	"gapschedd_slo_degraded":                    "gauge",
+	"gapschedd_build_info":                      "gauge",
+	"gapschedd_start_time_seconds":              "gauge",
+	"gapschedd_go_goroutines":                   "gauge",
+	"gapschedd_go_heap_inuse_bytes":             "gauge",
+	"gapschedd_go_heap_alloc_bytes":             "gauge",
+}
+
+// TestMetricsExpositionStrict drives traffic through every endpoint
+// and runs the strict validator over /metrics, then pins the required
+// families and per-endpoint series.
+func TestMetricsExpositionStrict(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	driveTraffic(t, ts.URL)
+	exp := parseExposition(t, fetch(t, ts.URL+"/metrics"))
+	typeOf, counts, samples := exp.typeOf, exp.counts, exp.samples
+
+	for family, typ := range requiredFamilies {
+		if typeOf[family] != typ {
+			t.Errorf("family %q missing or wrong type (TYPE %q, want %q)", family, typeOf[family], typ)
+		}
+	}
+	if len(exp.buckets) == 0 {
+		t.Fatal("no histogram series found in exposition")
+	}
 	// The six instrumented endpoints each report a duration series.
 	for _, ep := range []string{"solve", "batch", "session_create", "session_delta", "session_solve", "session_delete"} {
 		key := `gapschedd_request_duration_seconds|endpoint="` + ep + `"`
@@ -236,6 +274,35 @@ func TestMetricsExpositionStrict(t *testing.T) {
 	}
 	if counts[`gapschedd_fragment_solve_duration_seconds|backend="dp"`] == 0 {
 		t.Error("no dp fragment solve samples after exact-mode traffic")
+	}
+	// Every instrumented endpoint reports all three SLO quantile gauges.
+	for _, ep := range sloEndpointNames {
+		for _, q := range []string{"0.5", "0.9", "0.99"} {
+			key := `gapschedd_slo_latency_seconds|endpoint="` + ep + `",quantile="` + q + `"`
+			if _, ok := samples[key]; !ok {
+				t.Errorf("missing SLO latency sample %s", key)
+			}
+		}
+	}
+	if v := samples["gapschedd_slo_error_budget_remaining"]; v != "1" {
+		t.Errorf("error budget after clean traffic = %q, want 1", v)
+	}
+	if v := samples["gapschedd_slo_degraded"]; v != "0" {
+		t.Errorf("slo_degraded after clean traffic = %q, want 0", v)
+	}
+	// Vitals: the build-info labels carry a Go version, and the start
+	// time is a positive Unix timestamp.
+	foundBuild := false
+	for key := range samples {
+		if strings.HasPrefix(key, "gapschedd_build_info|") && strings.Contains(key, `goversion="go`) {
+			foundBuild = true
+		}
+	}
+	if !foundBuild {
+		t.Errorf("no build_info sample with a goversion label; samples: %v", samples)
+	}
+	if v, err := strconv.ParseFloat(samples["gapschedd_start_time_seconds"], 64); err != nil || v <= 0 {
+		t.Errorf("start_time_seconds = %q, want positive float", samples["gapschedd_start_time_seconds"])
 	}
 }
 

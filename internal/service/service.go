@@ -25,7 +25,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -49,6 +48,13 @@ const (
 	DefaultSessionTTL = 5 * time.Minute
 	// DefaultMaxSessions bounds the session registry.
 	DefaultMaxSessions = 1 << 12
+	// DefaultSLOLatencyP99 is the default sliding-p99 latency objective.
+	DefaultSLOLatencyP99 = time.Second
+	// DefaultSLOErrorRate is the default windowed error-rate objective
+	// (fraction of requests answered 5xx).
+	DefaultSLOErrorRate = 0.01
+	// DefaultSLOWindow is the trailing window SLO verdicts cover.
+	DefaultSLOWindow = time.Minute
 	// maxBodyBytes bounds a request body; a million-job instance is
 	// ~30 MB and far beyond what the exact DP should be fed over HTTP.
 	maxBodyBytes = 8 << 20
@@ -96,6 +102,17 @@ type Config struct {
 	// SlowSolve, when positive, logs a warning with the full per-stage
 	// breakdown for every dispatch whose solve ran at least this long.
 	SlowSolve time.Duration
+	// SLOLatencyP99 is the sliding-p99 latency objective evaluated per
+	// endpoint over SLOWindow (0 = DefaultSLOLatencyP99; negative
+	// disables the latency objective).
+	SLOLatencyP99 time.Duration
+	// SLOErrorRate is the windowed error-rate objective: the tolerated
+	// fraction of requests answered 5xx (0 = DefaultSLOErrorRate;
+	// negative disables the error objective and budget accounting).
+	SLOErrorRate float64
+	// SLOWindow is the trailing window SLO verdicts cover
+	// (0 or negative = DefaultSLOWindow).
+	SLOWindow time.Duration
 }
 
 // Server is the daemon: an http.Handler plus the shared cache, the
@@ -109,6 +126,7 @@ type Server struct {
 	sessions *sessionRegistry
 	met      metrics
 	po       *pipelineObs
+	slo      *sloTracker
 	reqID    atomic.Uint64
 	mux      *http.ServeMux
 }
@@ -130,11 +148,23 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
+	if cfg.SLOLatencyP99 == 0 {
+		cfg.SLOLatencyP99 = DefaultSLOLatencyP99
+	}
+	if cfg.SLOErrorRate == 0 {
+		cfg.SLOErrorRate = DefaultSLOErrorRate
+	}
+	if cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = DefaultSLOWindow
+	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.slo = newSLOTracker(cfg.SLOLatencyP99, cfg.SLOErrorRate, cfg.SLOWindow, cfg.Logger)
+	s.met.start = time.Now()
 	if cfg.CacheCapacity > 0 {
 		s.cache = gapsched.NewFragmentCache(cfg.CacheCapacity)
 	}
-	s.po = &pipelineObs{met: &s.met, logger: cfg.Logger, slow: cfg.SlowSolve}
+	s.po = &pipelineObs{met: &s.met, logger: cfg.Logger, slow: cfg.SlowSolve,
+		slowLim: newLogLimiter(slowLogRate, slowLogBurst)}
 	if cfg.TraceRing >= 0 {
 		s.po.rec = obs.NewRecorder(cfg.TraceRing)
 	}
@@ -149,6 +179,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/debug/slo", s.handleSLO)
 	return s
 }
 
@@ -180,6 +211,7 @@ func (s *Server) instrument(endpoint string, hist *obs.Histogram, h http.Handler
 		h(sw, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
 		d := time.Since(start)
 		hist.Observe(d)
+		s.slo.observe(endpoint, d, sw.status)
 		s.po.logger.Info("request",
 			slog.Uint64("id", rid),
 			slog.String("endpoint", endpoint),
@@ -517,14 +549,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz stays a liveness probe — always HTTP 200 — but its
+// body carries the SLO verdict, so probes that parse JSON can see
+// degradation without scraping /metrics.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{s.slo.evaluate(time.Now()).Status})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, s.co.buffered(), s.sessions.open(), s.cache)
+	s.slo.writeProm(w, time.Now())
 }
 
 // handleTraces serves GET /v1/debug/traces: the retained solve traces,

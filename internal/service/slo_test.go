@@ -1,0 +1,315 @@
+package service
+
+// Tests for the SLO layer: verdict flips on latency and error-budget
+// breaches, the /v1/debug/slo and /healthz surfaces, edge-triggered
+// budget-burn warnings, the slow-solve log rate limiter, and strict
+// /metrics exposition under concurrent load.
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// fetchSLO GETs and decodes /v1/debug/slo.
+func fetchSLO(t *testing.T, url string) SLOReport {
+	t.Helper()
+	var rep SLOReport
+	if err := json.Unmarshal([]byte(fetch(t, url+"/v1/debug/slo")), &rep); err != nil {
+		t.Fatalf("undecodable SLO report: %v", err)
+	}
+	return rep
+}
+
+// TestSLOReportHealthy: clean traffic against generous objectives
+// reports ok everywhere — the debug endpoint, /healthz, and the
+// per-endpoint summaries.
+func TestSLOReportHealthy(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	driveTraffic(t, ts.URL)
+
+	rep := fetchSLO(t, ts.URL)
+	if rep.Status != SLOStatusOK {
+		t.Errorf("status = %q, want ok; report %+v", rep.Status, rep)
+	}
+	if rep.WindowSeconds != DefaultSLOWindow.Seconds() ||
+		rep.TargetP99Seconds != DefaultSLOLatencyP99.Seconds() ||
+		rep.TargetErrorRate != DefaultSLOErrorRate {
+		t.Errorf("objectives not echoed: %+v", rep)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 || rep.ErrorBudgetRemaining != 1 || rep.BurnRate != 0 {
+		t.Errorf("aggregate window wrong: %+v", rep)
+	}
+	ep, ok := rep.Endpoints["solve"]
+	if !ok || ep.Requests == 0 || ep.Status != SLOStatusOK {
+		t.Errorf("solve endpoint window wrong: %+v", ep)
+	}
+	if ep.P99Seconds <= 0 || ep.P50Seconds > ep.P99Seconds {
+		t.Errorf("solve quantiles inconsistent: %+v", ep)
+	}
+
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(fetch(t, ts.URL+"/healthz")), &hz); err != nil {
+		t.Fatalf("undecodable healthz body: %v", err)
+	}
+	if hz.Status != SLOStatusOK {
+		t.Errorf("healthz status = %q, want ok", hz.Status)
+	}
+}
+
+// TestSLOLatencyBreach: an unreachably tight p99 objective flips the
+// verdict to degraded on the endpoints that served traffic, and the
+// degradation shows on /healthz and /metrics.
+func TestSLOLatencyBreach(t *testing.T) {
+	srv := New(Config{SLOLatencyP99: time.Nanosecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, req := range testPool(3) {
+		if got := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", req)); got.Err != nil {
+			t.Fatalf("solve failed: %+v", got.Err)
+		}
+	}
+
+	rep := fetchSLO(t, ts.URL)
+	if rep.Status != SLOStatusDegraded {
+		t.Fatalf("status = %q, want degraded; report %+v", rep.Status, rep)
+	}
+	if ep := rep.Endpoints["solve"]; ep.Status != SLOStatusDegraded {
+		t.Errorf("solve endpoint = %+v, want degraded", ep)
+	}
+	// Error budget is intact — only latency is breached.
+	if rep.ErrorBudgetRemaining != 1 || rep.Errors != 0 {
+		t.Errorf("latency breach should not burn error budget: %+v", rep)
+	}
+	if !strings.Contains(fetch(t, ts.URL+"/healthz"), `"degraded"`) {
+		t.Error("healthz does not report the degradation")
+	}
+	exp := parseExposition(t, fetch(t, ts.URL+"/metrics"))
+	if v := exp.samples["gapschedd_slo_degraded"]; v != "1" {
+		t.Errorf("gapschedd_slo_degraded = %q, want 1", v)
+	}
+}
+
+// TestSLOErrorBudgetBurn: 5xx responses (session creates rejected at
+// the registry bound → 503) burn the error budget past its objective,
+// degrade the verdict, zero the remaining budget gauge, and fire the
+// edge-triggered burn warning exactly once.
+func TestSLOErrorBudgetBurn(t *testing.T) {
+	var buf syncBuffer
+	srv := New(Config{
+		MaxSessions:  1,
+		SLOErrorRate: 0.01,
+		Logger:       slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	mk := func() (int, sched.SessionResponse) {
+		return sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+			Objective: sched.WireGaps, Procs: 1,
+			Jobs: []sched.Job{{Release: 0, Deadline: 2}},
+		})
+	}
+	if code, _ := mk(); code != 200 {
+		t.Fatalf("first session create: status %d", code)
+	}
+	for i := 0; i < 5; i++ {
+		if code, _ := mk(); code != 503 {
+			t.Fatalf("over-bound session create: status %d, want 503", code)
+		}
+	}
+
+	rep := fetchSLO(t, ts.URL)
+	if rep.Status != SLOStatusDegraded || rep.Errors != 5 {
+		t.Fatalf("report after burn: %+v", rep)
+	}
+	if rep.ErrorBudgetRemaining != 0 || rep.BurnRate <= 1 {
+		t.Errorf("budget accounting: remaining %g burn %g", rep.ErrorBudgetRemaining, rep.BurnRate)
+	}
+	if ep := rep.Endpoints["session_create"]; ep.Status != SLOStatusDegraded || ep.Errors != 5 {
+		t.Errorf("session_create endpoint: %+v", ep)
+	}
+	exp := parseExposition(t, fetch(t, ts.URL+"/metrics"))
+	if v := exp.samples["gapschedd_slo_error_budget_remaining"]; v != "0" {
+		t.Errorf("budget gauge = %q, want 0", v)
+	}
+	if n := strings.Count(buf.String(), "slo error budget burning"); n != 1 {
+		t.Errorf("burn warning fired %d times, want exactly 1 (edge-triggered):\n%s", n, buf.String())
+	}
+}
+
+// TestSLOObjectivesDisabled: negative objectives turn enforcement off —
+// errors and slow requests never degrade the verdict.
+func TestSLOObjectivesDisabled(t *testing.T) {
+	srv := New(Config{MaxSessions: 1, SLOLatencyP99: -1, SLOErrorRate: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i := 0; i < 3; i++ {
+		sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+			Objective: sched.WireGaps, Procs: 1,
+			Jobs: []sched.Job{{Release: 0, Deadline: 2}},
+		})
+	}
+	rep := fetchSLO(t, ts.URL)
+	if rep.Status != SLOStatusOK {
+		t.Errorf("disabled objectives still degraded: %+v", rep)
+	}
+	if rep.TargetP99Seconds != 0 || rep.TargetErrorRate != 0 {
+		t.Errorf("disabled objectives should echo as 0: %+v", rep)
+	}
+	if rep.Errors == 0 {
+		t.Errorf("errors still counted while unenforced: %+v", rep)
+	}
+}
+
+// TestLogLimiter pins the token-bucket arithmetic with an explicit
+// clock: the burst drains, suppression counts accumulate, and refill
+// restores one emission per 1/rate seconds carrying the drop count.
+func TestLogLimiter(t *testing.T) {
+	l := newLogLimiter(0.5, 2) // one line per 2s, burst 2
+	base := time.Now()
+	at := func(d time.Duration) time.Time { return base.Add(d) }
+
+	for i := 0; i < 2; i++ {
+		if ok, n := l.allow(at(0)); !ok || n != 0 {
+			t.Fatalf("burst emission %d: allow = %v,%d", i, ok, n)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow(at(time.Duration(i) * 100 * time.Millisecond)); ok {
+			t.Fatalf("emission %d allowed with empty bucket", i)
+		}
+	}
+	// 2s later one token has refilled; the emission reports the drops.
+	if ok, n := l.allow(at(2300 * time.Millisecond)); !ok || n != 3 {
+		t.Fatalf("refilled allow = %v,%d, want true,3", ok, n)
+	}
+	if ok, _ := l.allow(at(2300 * time.Millisecond)); ok {
+		t.Fatal("token spent twice")
+	}
+	// The bucket never overfills past its burst.
+	if ok, _ := l.allow(at(time.Hour)); !ok {
+		t.Fatal("long idle should allow")
+	}
+	if ok, _ := l.allow(at(time.Hour)); !ok {
+		t.Fatal("burst capacity lost after idle")
+	}
+	if ok, _ := l.allow(at(time.Hour)); ok {
+		t.Fatal("burst exceeded after idle")
+	}
+	var nilL *logLimiter
+	if ok, n := nilL.allow(at(0)); !ok || n != 0 {
+		t.Fatal("nil limiter must allow everything")
+	}
+}
+
+// TestSlowSolveWarningsRateLimited: with a nanosecond threshold every
+// dispatch qualifies, but the limiter caps the emitted lines at the
+// burst (plus any trickle refill) instead of one per solve.
+func TestSlowSolveWarningsRateLimited(t *testing.T) {
+	var buf syncBuffer
+	srv := New(Config{
+		SlowSolve: time.Nanosecond,
+		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const solves = 20
+	pool := testPool(4)
+	for i := 0; i < solves; i++ {
+		if got := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", pool[i%len(pool)])); got.Err != nil {
+			t.Fatalf("solve failed: %+v", got.Err)
+		}
+	}
+	warned := strings.Count(buf.String(), `"slow solve"`)
+	if warned == 0 {
+		t.Fatal("rate limiter suppressed every slow-solve warning")
+	}
+	// Even a generous bound: the burst is 4 and refill is 0.5/s, so 20
+	// back-to-back dispatches cannot emit anywhere near 20 lines.
+	if warned >= solves/2 {
+		t.Errorf("slow-solve warnings not rate limited: %d lines for %d solves", warned, solves)
+	}
+}
+
+// TestMetricsExpositionUnderLoad scrapes /metrics and /v1/debug/slo
+// with the strict validator while solve and error traffic runs
+// concurrently: every scrape must parse cleanly mid-flight.
+func TestMetricsExpositionUnderLoad(t *testing.T) {
+	srv := New(Config{MaxSessions: 1, Window: 200 * time.Microsecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	pool := testPool(6)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := trySolve(ts.URL, pool[(g*7+i)%len(pool)]); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // 5xx traffic: session creates bouncing off the bound
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sessionDo(t, "POST", ts.URL+"/v1/session", sched.SessionCreateRequest{
+				Objective: sched.WireGaps, Procs: 1,
+				Jobs: []sched.Job{{Release: 0, Deadline: 2}},
+			})
+		}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		exp := parseExposition(t, fetch(t, ts.URL+"/metrics"))
+		for family, typ := range requiredFamilies {
+			if exp.typeOf[family] != typ {
+				t.Fatalf("scrape %d: family %q wrong (TYPE %q)", scrapes, family, exp.typeOf[family])
+			}
+		}
+		rep := fetchSLO(t, ts.URL)
+		if rep.Status != SLOStatusOK && rep.Status != SLOStatusDegraded {
+			t.Fatalf("scrape %d: bad SLO status %q", scrapes, rep.Status)
+		}
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed")
+	}
+}

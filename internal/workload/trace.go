@@ -1,0 +1,284 @@
+package workload
+
+// Trace adapters: recorded arrival time series in and out of the
+// synthetic-workload layer. A Trace is a sequence of timestamped job
+// arrivals — what a packet capture or request log of a real
+// event-driven device workload reduces to — parsed from CSV or JSON,
+// replayable open-loop against the daemon (cmd/gapbench E24), and
+// convertible to the `gapsched -stream` delta-script format so the
+// same recording drives both the service and the CLI streaming tier.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// TracePoint is one recorded arrival: a job revealed At after the
+// start of the recording.
+type TracePoint struct {
+	// At is the arrival offset from the start of the trace.
+	At time.Duration
+	// Job is the revealed job, in the instance's integer time units.
+	Job sched.Job
+}
+
+// tracePointWire is the JSON form: microsecond offsets, flat job
+// fields, matching the CSV columns.
+type tracePointWire struct {
+	AtUs     int64 `json:"atUs"`
+	Release  int   `json:"release"`
+	Deadline int   `json:"deadline"`
+}
+
+// Trace is a recorded arrival time series, ordered by At.
+type Trace struct {
+	Points []TracePoint
+}
+
+// Len returns the number of recorded arrivals.
+func (t Trace) Len() int { return len(t.Points) }
+
+// Duration returns the offset of the last arrival (0 for an empty
+// trace).
+func (t Trace) Duration() time.Duration {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].At
+}
+
+// Scale returns a copy replayed at rate× the recorded speed: every
+// arrival offset divided by rate. Non-positive rates return the trace
+// unscaled.
+func (t Trace) Scale(rate float64) Trace {
+	if rate <= 0 || rate == 1 {
+		return t
+	}
+	pts := make([]TracePoint, len(t.Points))
+	for i, p := range t.Points {
+		pts[i] = TracePoint{At: time.Duration(float64(p.At) / rate), Job: p.Job}
+	}
+	return Trace{Points: pts}
+}
+
+// sortPoints orders the points by arrival offset, keeping the recorded
+// order of simultaneous arrivals.
+func (t *Trace) sortPoints() {
+	sort.SliceStable(t.Points, func(i, j int) bool { return t.Points[i].At < t.Points[j].At })
+}
+
+// TimedInstance is one replay step: the Instance groups every job that
+// arrives exactly At after the start.
+type TimedInstance struct {
+	At       time.Duration
+	Instance sched.Instance
+}
+
+// Instances groups the trace into replay steps on procs processors:
+// consecutive points with equal arrival offsets merge into one
+// instance, so a burst recorded at one timestamp is submitted as one
+// request.
+func (t Trace) Instances(procs int) []TimedInstance {
+	if procs < 1 {
+		procs = 1
+	}
+	var out []TimedInstance
+	for _, p := range t.Points {
+		if n := len(out); n > 0 && out[n-1].At == p.At {
+			out[n-1].Instance.Jobs = append(out[n-1].Instance.Jobs, p.Job)
+			continue
+		}
+		out = append(out, TimedInstance{
+			At:       p.At,
+			Instance: sched.Instance{Jobs: []sched.Job{p.Job}, Procs: procs},
+		})
+	}
+	return out
+}
+
+// ParseTrace reads a recorded trace, auto-detecting the format from
+// the first non-blank byte: '[' or '{' selects JSON (either a bare
+// array of points or an object with a "points" array), anything else
+// CSV with columns at_us,release,deadline (a non-numeric first row is
+// skipped as a header; blank lines and #-comments are ignored). The
+// parsed trace is sorted by arrival offset.
+func ParseTrace(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return Trace{}, nil
+			}
+			return Trace{}, err
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			br.ReadByte()
+			continue
+		}
+		if b[0] == '[' || b[0] == '{' {
+			return parseJSONTrace(br)
+		}
+		return parseCSVTrace(br)
+	}
+}
+
+func parseJSONTrace(r io.Reader) (Trace, error) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return Trace{}, fmt.Errorf("workload: parse JSON trace: %w", err)
+	}
+	var pts []tracePointWire
+	if len(raw) > 0 && raw[0] == '{' {
+		var env struct {
+			Points []tracePointWire `json:"points"`
+		}
+		if err := json.Unmarshal(raw, &env); err != nil {
+			return Trace{}, fmt.Errorf("workload: parse JSON trace: %w", err)
+		}
+		pts = env.Points
+	} else if err := json.Unmarshal(raw, &pts); err != nil {
+		return Trace{}, fmt.Errorf("workload: parse JSON trace: %w", err)
+	}
+	t := Trace{Points: make([]TracePoint, 0, len(pts))}
+	for i, p := range pts {
+		if p.Release > p.Deadline {
+			return Trace{}, fmt.Errorf("workload: JSON trace point %d: empty window [%d,%d]", i, p.Release, p.Deadline)
+		}
+		t.Points = append(t.Points, TracePoint{
+			At:  time.Duration(p.AtUs) * time.Microsecond,
+			Job: sched.Job{Release: p.Release, Deadline: p.Deadline},
+		})
+	}
+	t.sortPoints()
+	return t, nil
+}
+
+func parseCSVTrace(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return Trace{}, fmt.Errorf("workload: CSV trace line %d: want 3 columns (at_us,release,deadline), got %d", line, len(fields))
+		}
+		atUs, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			if line == 1 { // header row
+				continue
+			}
+			return Trace{}, fmt.Errorf("workload: CSV trace line %d: bad at_us %q", line, fields[0])
+		}
+		release, err1 := strconv.Atoi(strings.TrimSpace(fields[1]))
+		deadline, err2 := strconv.Atoi(strings.TrimSpace(fields[2]))
+		if err1 != nil || err2 != nil {
+			return Trace{}, fmt.Errorf("workload: CSV trace line %d: bad job columns %q", line, text)
+		}
+		if release > deadline {
+			return Trace{}, fmt.Errorf("workload: CSV trace line %d: empty window [%d,%d]", line, release, deadline)
+		}
+		t.Points = append(t.Points, TracePoint{
+			At:  time.Duration(atUs) * time.Microsecond,
+			Job: sched.Job{Release: release, Deadline: deadline},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("workload: read CSV trace: %w", err)
+	}
+	t.sortPoints()
+	return t, nil
+}
+
+// WriteCSV writes the trace in the CSV format ParseTrace reads, with a
+// header row.
+func (t Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "at_us,release,deadline")
+	for _, p := range t.Points {
+		fmt.Fprintf(bw, "%d,%d,%d\n", p.At.Microseconds(), p.Job.Release, p.Job.Deadline)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the trace as a JSON array of points in the format
+// ParseTrace reads.
+func (t Trace) WriteJSON(w io.Writer) error {
+	pts := make([]tracePointWire, len(t.Points))
+	for i, p := range t.Points {
+		pts[i] = tracePointWire{AtUs: p.At.Microseconds(), Release: p.Job.Release, Deadline: p.Job.Deadline}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pts)
+}
+
+// WriteDeltaScript writes the trace as a `gapsched -stream` delta
+// script: one "add R D" line per arrival, with a comment carrying the
+// recorded offset so the temporal structure survives as annotation
+// (the streaming tier replays deltas in order, not in time).
+func (t Trace) WriteDeltaScript(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# arrival trace; offsets recorded in microseconds")
+	last := time.Duration(-1)
+	for _, p := range t.Points {
+		if p.At != last {
+			fmt.Fprintf(bw, "# t=%dus\n", p.At.Microseconds())
+			last = p.At
+		}
+		fmt.Fprintf(bw, "add %d %d\n", p.Job.Release, p.Job.Deadline)
+	}
+	return bw.Flush()
+}
+
+// RecordBursty synthesizes an arrival trace with the bursty temporal
+// shape of the paper's device workloads: bursts of perBurst arrivals,
+// burstGap apart, the arrivals within a burst spread withinGap apart
+// with up to half a withinGap of jitter, each drawing its job set from
+// the pool round-robin. It is the recording counterpart of Bursty —
+// where Bursty clusters job windows inside the instance, RecordBursty
+// clusters request arrivals on the wall clock. A nil rng drops the
+// jitter, keeping the grid exactly periodic.
+func RecordBursty(rng *rand.Rand, pool []sched.Instance, bursts, perBurst int, burstGap, withinGap time.Duration) Trace {
+	if bursts < 1 {
+		bursts = 1
+	}
+	if perBurst < 1 {
+		perBurst = 1
+	}
+	var t Trace
+	if len(pool) == 0 {
+		return t
+	}
+	next := 0
+	for b := 0; b < bursts; b++ {
+		start := time.Duration(b) * burstGap
+		for k := 0; k < perBurst; k++ {
+			at := start + time.Duration(k)*withinGap
+			if rng != nil && withinGap > 1 {
+				at += time.Duration(rng.Int63n(int64(withinGap) / 2))
+			}
+			in := pool[next%len(pool)]
+			next++
+			for _, j := range in.Jobs {
+				t.Points = append(t.Points, TracePoint{At: at, Job: j})
+			}
+		}
+	}
+	t.sortPoints()
+	return t
+}

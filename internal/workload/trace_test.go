@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func sampleTrace() Trace {
+	return Trace{Points: []TracePoint{
+		{At: 0, Job: sched.Job{Release: 0, Deadline: 2}},
+		{At: 0, Job: sched.Job{Release: 1, Deadline: 3}},
+		{At: 1500 * time.Microsecond, Job: sched.Job{Release: 10, Deadline: 12}},
+		{At: 40 * time.Millisecond, Job: sched.Job{Release: 50, Deadline: 51}},
+	}}
+}
+
+func equalTraces(a, b Trace) bool {
+	if len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := want.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("ParseTrace(CSV): %v", err)
+	}
+	if !equalTraces(got, want) {
+		t.Errorf("CSV round trip: got %+v, want %+v", got.Points, want.Points)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatalf("ParseTrace(JSON): %v", err)
+	}
+	if !equalTraces(got, want) {
+		t.Errorf("JSON round trip: got %+v, want %+v", got.Points, want.Points)
+	}
+}
+
+func TestParseTraceFormats(t *testing.T) {
+	// Headerless CSV, comments, blank lines, unsorted rows.
+	csv := "\n# recorded by hand\n2000,4,6\n\n0,0,1\n"
+	tr, err := ParseTrace(strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if tr.Len() != 2 || tr.Points[0].At != 0 || tr.Points[1].At != 2*time.Millisecond {
+		t.Errorf("CSV parse/sort: got %+v", tr.Points)
+	}
+	// JSON object envelope.
+	obj := `{"points":[{"atUs":5,"release":1,"deadline":2}]}`
+	tr, err = ParseTrace(strings.NewReader(obj))
+	if err != nil {
+		t.Fatalf("ParseTrace(object): %v", err)
+	}
+	if tr.Len() != 1 || tr.Points[0].At != 5*time.Microsecond {
+		t.Errorf("JSON object parse: got %+v", tr.Points)
+	}
+	// Empty input is an empty trace.
+	if tr, err = ParseTrace(strings.NewReader("  \n")); err != nil || tr.Len() != 0 {
+		t.Errorf("empty input: trace %+v, err %v", tr.Points, err)
+	}
+	// Malformed rows fail loudly.
+	for _, bad := range []string{"1,2\n", "x,y,z\nmore,bad,rows\n", "0,5,2\n"} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q): want error", bad)
+		}
+	}
+}
+
+func TestTraceScaleAndDuration(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.Duration(); got != 40*time.Millisecond {
+		t.Errorf("Duration = %v, want 40ms", got)
+	}
+	fast := tr.Scale(4)
+	if got := fast.Duration(); got != 10*time.Millisecond {
+		t.Errorf("Scale(4).Duration = %v, want 10ms", got)
+	}
+	if tr.Duration() != 40*time.Millisecond {
+		t.Error("Scale mutated the receiver")
+	}
+	if got := tr.Scale(0).Duration(); got != 40*time.Millisecond {
+		t.Errorf("Scale(0) should be identity, got duration %v", got)
+	}
+	if got := (Trace{}).Duration(); got != 0 {
+		t.Errorf("empty Duration = %v, want 0", got)
+	}
+}
+
+func TestTraceInstances(t *testing.T) {
+	steps := sampleTrace().Instances(2)
+	if len(steps) != 3 {
+		t.Fatalf("Instances: got %d steps, want 3", len(steps))
+	}
+	if n := steps[0].Instance.N(); n != 2 {
+		t.Errorf("simultaneous arrivals not merged: first step has %d jobs", n)
+	}
+	for _, st := range steps {
+		if st.Instance.Procs != 2 {
+			t.Errorf("step at %v has procs %d, want 2", st.At, st.Instance.Procs)
+		}
+		if err := st.Instance.Validate(); err != nil {
+			t.Errorf("step at %v invalid: %v", st.At, err)
+		}
+	}
+}
+
+func TestTraceWriteDeltaScript(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteDeltaScript(&buf); err != nil {
+		t.Fatalf("WriteDeltaScript: %v", err)
+	}
+	out := buf.String()
+	// The script must hold exactly the trace's adds, in the -stream
+	// grammar: "add R D" lines plus ignorable comments.
+	adds := 0
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var r, d int
+		if _, err := fmt.Sscanf(line, "add %d %d", &r, &d); err != nil {
+			t.Fatalf("non-delta line %q: %v", line, err)
+		}
+		adds++
+	}
+	if adds != 4 {
+		t.Errorf("delta script has %d adds, want 4", adds)
+	}
+}
+
+func TestRecordBursty(t *testing.T) {
+	pool := []sched.Instance{
+		sched.NewInstance([]sched.Job{{Release: 0, Deadline: 1}}),
+		sched.NewInstance([]sched.Job{{Release: 2, Deadline: 3}, {Release: 4, Deadline: 5}}),
+	}
+	tr := RecordBursty(nil, pool, 3, 2, 10*time.Millisecond, time.Millisecond)
+	// 3 bursts × 2 requests drawing 1,2,1,2,1,2 jobs = 9 points.
+	if tr.Len() != 9 {
+		t.Fatalf("RecordBursty points = %d, want 9", tr.Len())
+	}
+	if tr.Duration() != 2*10*time.Millisecond+time.Millisecond {
+		t.Errorf("RecordBursty duration = %v", tr.Duration())
+	}
+	// Jittered recordings stay sorted and the same size.
+	jit := RecordBursty(rand.New(rand.NewSource(1)), pool, 3, 2, 10*time.Millisecond, time.Millisecond)
+	if jit.Len() != 9 {
+		t.Errorf("jittered points = %d, want 9", jit.Len())
+	}
+	for i := 1; i < jit.Len(); i++ {
+		if jit.Points[i].At < jit.Points[i-1].At {
+			t.Fatalf("jittered trace unsorted at %d", i)
+		}
+	}
+	if RecordBursty(nil, nil, 2, 2, time.Second, time.Millisecond).Len() != 0 {
+		t.Error("empty pool should record an empty trace")
+	}
+}
